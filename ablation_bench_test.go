@@ -1,0 +1,150 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - scheduler discipline: per-worker work-stealing deques (the NABBIT
+//     assumption) vs a single central FIFO queue;
+//   - block-version retention: single-assignment (unbounded) vs reuse (1)
+//     vs two versions (2), measuring both fault-free cost and the recovery
+//     cascade length the paper's §VI discusses for Floyd-Warshall;
+//   - FT bookkeeping: the fault-tolerant executor vs the plain NABBIT
+//     baseline, isolating the cost of bit vectors, life numbers, and the
+//     recovery table (the paper's Figure 4 claim: within noise).
+package ftdag_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftdag/internal/apps"
+	"ftdag/internal/apps/fw"
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/sched"
+)
+
+// BenchmarkAblationScheduler compares work stealing against the
+// central-queue discipline on the fault-free FT executor.
+func BenchmarkAblationScheduler(b *testing.B) {
+	policies := map[string]sched.Policy{
+		"worksteal": sched.WorkStealing,
+		"central":   sched.CentralQueue,
+	}
+	for _, name := range []string{"LU", "LCS"} {
+		a := benchApp(b, name)
+		for pn, pol := range policies {
+			for _, p := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/%s/P%d", name, pn, p), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := core.NewFT(a.Spec(), core.Config{
+							Workers:     p,
+							Retention:   a.Retention(),
+							SchedPolicy: pol,
+						}).Run()
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = res
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRetention sweeps the block-version retention on FW: the
+// paper chose two versions per block specifically to bound the recovery
+// cascade; retention 0 (single assignment) removes cascades entirely at the
+// cost of memory, and the reexec/op metric shows the cascade length each
+// policy pays under after-compute faults.
+func BenchmarkAblationRetention(b *testing.B) {
+	a, err := fw.New(apps.Config{N: 128, B: 16, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	count := scaled(a, 512)
+	for _, retention := range []int{0, 2, 3} {
+		b.Run(fmt.Sprintf("faulty/K%d", retention), func(b *testing.B) {
+			var reexec int64
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				plan := fault.PlanCount(a.Spec(), fault.VRand, fault.AfterCompute, count, int64(i))
+				res, err := core.NewFT(a.Spec(), core.Config{
+					Workers:   2,
+					Retention: retention,
+					Plan:      plan,
+				}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				reexec += res.ReexecutedTasks
+				bytes += res.Store.BytesRetained
+			}
+			b.ReportMetric(float64(reexec)/float64(b.N), "reexec/op")
+			b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "retainedMB")
+		})
+		b.Run(fmt.Sprintf("clean/K%d", retention), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.NewFT(a.Spec(), core.Config{
+					Workers:   2,
+					Retention: retention,
+				}).Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += res.Store.BytesRetained
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1e6, "retainedMB")
+		})
+	}
+}
+
+// BenchmarkAblationFTBookkeeping isolates the fault-tolerance bookkeeping
+// cost (bit vectors, life tracking, recovery table) by comparing the FT
+// executor against the plain NABBIT baseline on identical graphs — the
+// paper's Figure 4 comparison, as a microbenchmark.
+func BenchmarkAblationFTBookkeeping(b *testing.B) {
+	for _, name := range benchOrder {
+		a := benchApp(b, name)
+		b.Run(name+"/baseline", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewBaseline(a.Spec(), core.Config{
+					Workers: 2, Retention: a.Retention(),
+				}).Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/ft", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runFT(b, a, 2, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTraversalOverhead measures the pure scheduling cost per
+// task by running graphs whose computes are trivial: the difference between
+// executors is all bookkeeping.
+func BenchmarkAblationTraversalOverhead(b *testing.B) {
+	g := graph.Layered(50, 40, 4, 7, func(key graph.Key, vals [][]float64) []float64 {
+		return []float64{1}
+	})
+	props := graph.Analyze(g)
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewBaseline(g, core.Config{Workers: 2}).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(props.Tasks), "tasks")
+	})
+	b.Run("ft", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewFT(g, core.Config{Workers: 2}).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(props.Tasks), "tasks")
+	})
+}

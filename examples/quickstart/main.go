@@ -1,0 +1,67 @@
+// Quickstart: build a small task graph, run it with the fault-tolerant
+// work-stealing scheduler, then run it again with an injected soft error and
+// observe that the result is identical while the metrics show the recovery.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftdag"
+)
+
+func main() {
+	// A diamond with a custom kernel: each task sums its predecessors'
+	// outputs and appends its own key.
+	//
+	//	      0
+	//	    /   \
+	//	   1     2
+	//	    \   /
+	//	      3   (sink)
+	g := ftdag.NewGraph(func(key ftdag.Key, vals [][]float64) []float64 {
+		sum := float64(key)
+		for _, v := range vals {
+			for _, x := range v {
+				sum += x
+			}
+		}
+		return []float64{sum}
+	})
+	g.AddTaskAuto(0).AddTaskAuto(1).AddTaskAuto(2).AddTaskAuto(3)
+	g.AddEdge(0, 1).AddEdge(0, 2)
+	g.AddEdge(1, 3).AddEdge(2, 3)
+	g.SetSink(3)
+
+	if err := ftdag.Validate(g); err != nil {
+		log.Fatalf("graph is malformed: %v", err)
+	}
+	fmt.Println("graph:", ftdag.Analyze(g))
+
+	// Fault-free run.
+	res, err := ftdag.Run(g, ftdag.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free:  sink=%v  computes=%d  recoveries=%d\n",
+		res.Sink, res.Metrics.Computes, res.Metrics.Recoveries)
+
+	// Same graph, but task 1 suffers a detectable soft error right after
+	// its compute finishes (its descriptor and output block are
+	// corrupted). The scheduler recovers it selectively — no global
+	// rollback — and the sink value must not change.
+	plan := ftdag.NewPlan().Add(1, ftdag.AfterCompute, 1)
+	res2, err := ftdag.Run(g, ftdag.Config{Workers: 4, Plan: plan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with fault:  sink=%v  computes=%d  recoveries=%d\n",
+		res2.Sink, res2.Metrics.Computes, res2.Metrics.Recoveries)
+
+	if res.Sink[0] != res2.Sink[0] {
+		log.Fatalf("results differ: %v vs %v", res.Sink, res2.Sink)
+	}
+	fmt.Println("results identical — recovery was transparent")
+}

@@ -1,0 +1,148 @@
+package ftdag_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ftdag"
+)
+
+func diamond() *ftdag.Graph {
+	g := ftdag.NewGraph(nil)
+	g.AddTaskAuto(0).AddTaskAuto(1).AddTaskAuto(2).AddTaskAuto(3)
+	g.AddEdge(0, 1).AddEdge(0, 2).AddEdge(1, 3).AddEdge(2, 3)
+	return g.SetSink(3)
+}
+
+func TestPublicRun(t *testing.T) {
+	g := diamond()
+	if err := ftdag.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	p := ftdag.Analyze(g)
+	if p.Tasks != 4 || p.Edges != 4 || p.CriticalPath != 3 {
+		t.Fatalf("Analyze = %+v", p)
+	}
+	res, err := ftdag.Run(g, ftdag.Config{Workers: 2, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demo kernel: 0 → 1; 1,2 → 2 each; 3 → 2+2+1 = 5.
+	if len(res.Sink) != 1 || res.Sink[0] != 5 {
+		t.Fatalf("sink = %v, want [5]", res.Sink)
+	}
+}
+
+func TestPublicRunWithFaults(t *testing.T) {
+	g := diamond()
+	clean, err := ftdag.Run(g, ftdag.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, point := range []ftdag.Point{ftdag.BeforeCompute, ftdag.AfterCompute, ftdag.AfterNotify} {
+		plan := ftdag.NewPlan()
+		for k := ftdag.Key(0); k < 3; k++ {
+			plan.Add(k, point, 1)
+		}
+		res, err := ftdag.Run(g, ftdag.Config{Workers: 4, Plan: plan, Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("%v: %v", point, err)
+		}
+		if res.Sink[0] != clean.Sink[0] {
+			t.Fatalf("%v: sink %v != clean %v", point, res.Sink, clean.Sink)
+		}
+	}
+}
+
+func TestPublicBaselineAndSequential(t *testing.T) {
+	g := diamond()
+	b, err := ftdag.RunBaseline(g, ftdag.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ftdag.RunSequential(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sink[0] != s.Sink[0] {
+		t.Fatalf("baseline %v != sequential %v", b.Sink, s.Sink)
+	}
+}
+
+func TestPublicPlanBuilders(t *testing.T) {
+	g := diamond()
+	if p := ftdag.PlanCount(g, ftdag.VRand, ftdag.AfterCompute, 2, 1); p.Len() != 2 {
+		t.Fatalf("PlanCount built %d", p.Len())
+	}
+	// 4 tasks → 50% rounds to 2.
+	if p := ftdag.PlanFraction(g, ftdag.AnyTask, ftdag.BeforeCompute, 0.5, 1); p.Len() != 2 {
+		t.Fatalf("PlanFraction built %d", p.Len())
+	}
+}
+
+func TestPublicCustomSpec(t *testing.T) {
+	// A minimal hand-written Spec: two tasks sharing one block across two
+	// versions.
+	spec := &twoVersions{}
+	if err := ftdag.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ftdag.Run(spec, ftdag.Config{Workers: 1, Retention: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sink[0] != 11 {
+		t.Fatalf("sink = %v, want [11]", res.Sink)
+	}
+}
+
+func TestPublicTimeout(t *testing.T) {
+	g := ftdag.NewGraph(func(k ftdag.Key, vals [][]float64) []float64 {
+		time.Sleep(300 * time.Millisecond)
+		return []float64{1}
+	})
+	g.AddTaskAuto(0)
+	g.SetSink(0)
+	_, err := ftdag.Run(g, ftdag.Config{Timeout: 20 * time.Millisecond})
+	if !errors.Is(err, ftdag.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// twoVersions: task 0 writes (block 7, v0); task 1 reads it and writes
+// (block 7, v1). Sink output = input + 1.
+type twoVersions struct{}
+
+func (*twoVersions) Sink() ftdag.Key { return 1 }
+
+func (*twoVersions) Predecessors(k ftdag.Key) []ftdag.Key {
+	if k == 1 {
+		return []ftdag.Key{0}
+	}
+	return nil
+}
+
+func (*twoVersions) Successors(k ftdag.Key) []ftdag.Key {
+	if k == 0 {
+		return []ftdag.Key{1}
+	}
+	return nil
+}
+
+func (*twoVersions) Output(k ftdag.Key) ftdag.BlockRef {
+	return ftdag.BlockRef{Block: 7, Version: int(k)}
+}
+
+func (*twoVersions) Compute(ctx ftdag.Context, k ftdag.Key) error {
+	if k == 0 {
+		ctx.Write([]float64{10})
+		return nil
+	}
+	in, err := ctx.ReadPred(0)
+	if err != nil {
+		return err
+	}
+	ctx.Write([]float64{in[0] + 1})
+	return nil
+}

@@ -1,0 +1,3 @@
+module ftdag
+
+go 1.22

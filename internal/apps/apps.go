@@ -1,0 +1,57 @@
+// Package apps hosts the five benchmark applications of the paper's
+// evaluation (§VI, Table I): LCS, Smith-Waterman, Floyd-Warshall, LU
+// decomposition, and Cholesky factorization, each expressed as a dynamic
+// task graph over tiles of the problem matrix.
+//
+// Every application provides real kernels (actual dynamic-programming or
+// factorization arithmetic), a sequential reference implementation used to
+// verify results, and a recommended block-version retention matching the
+// paper's memory-management choice for that benchmark (single-assignment for
+// LCS, memory reuse for LU/Cholesky/SW, two versions per block for
+// Floyd-Warshall).
+package apps
+
+import (
+	"fmt"
+
+	"ftdag/internal/graph"
+)
+
+// App is a benchmark instance: a task graph plus the knowledge needed to run
+// and verify it.
+type App interface {
+	// Name is the benchmark's short name as used in the paper's tables
+	// (LCS, SW, FW, LU, Cholesky).
+	Name() string
+	// Spec is the task graph.
+	Spec() graph.Spec
+	// Retention is the block store retention the paper's configuration
+	// implies: 0 single-assignment, 1 reuse, 2 two versions per block.
+	Retention() int
+	// VerifySink checks the sink task's output against the sequential
+	// reference implementation.
+	VerifySink(sink []float64) error
+}
+
+// Config sizes a benchmark instance.
+type Config struct {
+	N    int   // problem size (matrix/sequence dimension)
+	B    int   // tile size; must divide N
+	Seed int64 // input generation seed
+}
+
+func (c Config) Tiles() int { return c.N / c.B }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.B <= 0 {
+		return fmt.Errorf("apps: N and B must be positive (N=%d B=%d)", c.N, c.B)
+	}
+	if c.N%c.B != 0 {
+		return fmt.Errorf("apps: tile size %d must divide problem size %d", c.B, c.N)
+	}
+	return nil
+}
+
+// Maker constructs an app instance from a config.
+type Maker func(Config) (App, error)

@@ -1,0 +1,171 @@
+package sw
+
+import (
+	"testing"
+
+	"ftdag/internal/apps"
+	"ftdag/internal/graph"
+)
+
+func newSW(t *testing.T, n, b int) *SW {
+	t.Helper()
+	a, err := New(apps.Config{N: n, B: b, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.(*SW)
+}
+
+// TestBlockedMatchesReference compares the blocked wavefront (run by hand)
+// with the plain recurrence; scores are small integers, so equality is
+// exact.
+func TestBlockedMatchesReference(t *testing.T) {
+	for _, size := range []struct{ n, b int }{{16, 4}, {32, 8}, {48, 8}} {
+		a := newSW(t, size.n, size.b)
+		outs := map[graph.Key][]float64{}
+		order, err := graph.TopoOrder(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range order {
+			ctx := &fakeCtx{outs: outs}
+			if err := a.Compute(ctx, k); err != nil {
+				t.Fatal(err)
+			}
+			outs[k] = ctx.out
+		}
+		if err := a.VerifySink(outs[a.Sink()]); err != nil {
+			t.Fatalf("n=%d: %v", size.n, err)
+		}
+	}
+}
+
+// TestRunningMaxMonotone: the threaded running maximum must be the max over
+// the tile's own cells and all predecessors' running maxima; the sink's is
+// the global maximum.
+func TestRunningMaxMonotone(t *testing.T) {
+	a := newSW(t, 32, 8)
+	outs := map[graph.Key][]float64{}
+	order, _ := graph.TopoOrder(a)
+	for _, k := range order {
+		ctx := &fakeCtx{outs: outs}
+		if err := a.Compute(ctx, k); err != nil {
+			t.Fatal(err)
+		}
+		outs[k] = ctx.out
+	}
+	b := a.b
+	global := 0.0
+	for _, out := range outs {
+		for _, v := range out[:b*b] {
+			if v > global {
+				global = v
+			}
+		}
+	}
+	sinkMax := outs[a.Sink()][b*b]
+	if sinkMax != global {
+		t.Fatalf("sink running max %v != global max %v", sinkMax, global)
+	}
+	// Monotone along natural edges.
+	for bi := 0; bi < a.nb; bi++ {
+		for bj := 0; bj < a.nb; bj++ {
+			cur := outs[a.key(bi, bj)][b*b]
+			if bi > 0 && outs[a.key(bi-1, bj)][b*b] > cur {
+				t.Fatalf("running max decreased at (%d,%d)", bi, bj)
+			}
+			if bj > 0 && outs[a.key(bi, bj-1)][b*b] > cur {
+				t.Fatalf("running max decreased at (%d,%d)", bi, bj)
+			}
+		}
+	}
+}
+
+// TestBufferPoolMapping: tile (bi,bj) writes buffer (bi mod 2, bj) version
+// bi/2, so the pool holds exactly 2·nb logical blocks.
+func TestBufferPoolMapping(t *testing.T) {
+	a := newSW(t, 32, 8) // nb = 4
+	seen := map[int64]bool{}
+	for bi := 0; bi < a.nb; bi++ {
+		for bj := 0; bj < a.nb; bj++ {
+			ref := a.Output(a.key(bi, bj))
+			if ref.Version != bi/bufRows {
+				t.Fatalf("tile (%d,%d) version = %d", bi, bj, ref.Version)
+			}
+			seen[int64(ref.Block)] = true
+		}
+	}
+	if len(seen) != bufRows*a.nb {
+		t.Fatalf("buffer pool has %d blocks, want %d", len(seen), bufRows*a.nb)
+	}
+}
+
+// TestAntiDependenceCoverage: every reader of a buffer version must be an
+// ancestor of the next writer of that buffer — the invariant that makes
+// retention-1 reuse safe for SW.
+func TestAntiDependenceCoverage(t *testing.T) {
+	a := newSW(t, 40, 4) // nb = 10: plenty of reuse
+	// Readers of tile (i,j): its natural consumers (down, right,
+	// diagonal). Next writer of its buffer: tile (i+2, j).
+	memo := map[[2]graph.Key]bool{}
+	var reaches func(from, to graph.Key) bool
+	reaches = func(from, to graph.Key) bool {
+		if from == to {
+			return true
+		}
+		key := [2]graph.Key{from, to}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		memo[key] = false
+		out := false
+		for _, s := range a.Successors(from) {
+			if reaches(s, to) {
+				out = true
+				break
+			}
+		}
+		memo[key] = out
+		return out
+	}
+	for bi := 0; bi+bufRows < a.nb; bi++ {
+		for bj := 0; bj < a.nb; bj++ {
+			next := a.key(bi+bufRows, bj)
+			for _, rd := range [][2]int{{bi + 1, bj}, {bi, bj + 1}, {bi + 1, bj + 1}} {
+				if rd[0] >= a.nb || rd[1] >= a.nb {
+					continue
+				}
+				reader := a.key(rd[0], rd[1])
+				if !reaches(reader, next) {
+					t.Fatalf("reader (%d,%d) of tile (%d,%d) not ordered before buffer rewrite (%d,%d)",
+						rd[0], rd[1], bi, bj, bi+bufRows, bj)
+				}
+			}
+		}
+	}
+}
+
+func TestScoringScheme(t *testing.T) {
+	// Identical sequences of length n score n·match.
+	a := &SW{n: 8, b: 8, nb: 1,
+		x: []byte{0, 1, 2, 3, 0, 1, 2, 3},
+		y: []byte{0, 1, 2, 3, 0, 1, 2, 3}}
+	if got := a.Reference(); got != 8*match {
+		t.Fatalf("identical sequences score %v, want %v", got, 8*match)
+	}
+	// Completely disjoint alphabets score 0.
+	b := &SW{n: 4, b: 4, nb: 1,
+		x: []byte{0, 0, 0, 0},
+		y: []byte{1, 1, 1, 1}}
+	if got := b.Reference(); got != 0 {
+		t.Fatalf("disjoint sequences score %v, want 0", got)
+	}
+}
+
+type fakeCtx struct {
+	outs map[graph.Key][]float64
+	out  []float64
+}
+
+func (c *fakeCtx) ReadPred(p graph.Key) ([]float64, error) { return c.outs[p], nil }
+func (c *fakeCtx) Write(d []float64)                       { c.out = d }

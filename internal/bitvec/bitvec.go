@@ -1,0 +1,114 @@
+// Package bitvec provides a fixed-size atomic bit vector.
+//
+// The fault-tolerant scheduler associates one bit per predecessor with each
+// task's join counter (paper §IV, Guarantee 3). The bit for a predecessor is
+// cleared exactly once per notification round via TestAndClear, which makes
+// join-counter decrements idempotent across task recoveries: a predecessor
+// that notifies again after being recovered finds its bit already cleared and
+// does not decrement the counter a second time.
+package bitvec
+
+import "sync/atomic"
+
+const wordBits = 64
+
+// Vector is a fixed-size vector of bits supporting atomic per-bit
+// test-and-clear and a bulk re-set used when a task's bookkeeping is reset
+// (RESETNODE in the paper). The zero value is unusable; use New.
+type Vector struct {
+	n     int
+	words []atomic.Uint64
+}
+
+// New returns a vector of n bits, all initially set to 1.
+func New(n int) *Vector {
+	v := &Vector{n: n, words: make([]atomic.Uint64, (n+wordBits-1)/wordBits)}
+	v.SetAll()
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// SetAll atomically sets every bit in the vector to 1.
+// Bits past Len in the final word are left clear so Count stays exact.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		mask := ^uint64(0)
+		if rem := v.n - i*wordBits; rem < wordBits {
+			mask = (uint64(1) << uint(rem)) - 1
+		}
+		v.words[i].Store(mask)
+	}
+}
+
+// ClearAll atomically clears every bit.
+func (v *Vector) ClearAll() {
+	for i := range v.words {
+		v.words[i].Store(0)
+	}
+}
+
+// TestAndClear atomically clears bit i and reports whether it was previously
+// set. It is the ATOMICBITUNSET of the paper: at most one caller per
+// set-round observes true for a given bit.
+func (v *Vector) TestAndClear(i int) bool {
+	if i < 0 || i >= v.n {
+		panic("bitvec: index out of range")
+	}
+	w := &v.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			return true
+		}
+	}
+}
+
+// Set atomically sets bit i to 1.
+func (v *Vector) Set(i int) {
+	if i < 0 || i >= v.n {
+		panic("bitvec: index out of range")
+	}
+	w := &v.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// IsSet reports whether bit i is currently set.
+func (v *Vector) IsSet(i int) bool {
+	if i < 0 || i >= v.n {
+		panic("bitvec: index out of range")
+	}
+	return v.words[i/wordBits].Load()&(uint64(1)<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for i := range v.words {
+		c += popcount(v.words[i].Load())
+	}
+	return c
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight bit-twiddling popcount; stdlib math/bits would also
+	// do, but this keeps the hot path free of call overhead on older Go.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

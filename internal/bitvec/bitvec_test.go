@@ -1,0 +1,181 @@
+package bitvec
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllSet(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("Len() = %d, want %d", v.Len(), n)
+		}
+		if v.Count() != n {
+			t.Fatalf("n=%d: Count() = %d, want %d", n, v.Count(), n)
+		}
+		for i := 0; i < n; i++ {
+			if !v.IsSet(i) {
+				t.Fatalf("n=%d: bit %d not set after New", n, i)
+			}
+		}
+	}
+}
+
+func TestTestAndClearOnce(t *testing.T) {
+	v := New(130)
+	for i := 0; i < 130; i++ {
+		if !v.TestAndClear(i) {
+			t.Fatalf("first TestAndClear(%d) = false", i)
+		}
+		if v.TestAndClear(i) {
+			t.Fatalf("second TestAndClear(%d) = true", i)
+		}
+		if v.IsSet(i) {
+			t.Fatalf("bit %d still set after clear", i)
+		}
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count() = %d after clearing all, want 0", v.Count())
+	}
+}
+
+func TestSetAllAfterClear(t *testing.T) {
+	v := New(100)
+	for i := 0; i < 100; i++ {
+		v.TestAndClear(i)
+	}
+	v.SetAll()
+	if v.Count() != 100 {
+		t.Fatalf("Count() = %d after SetAll, want 100", v.Count())
+	}
+	// SetAll must not set bits beyond Len in the last word.
+	v2 := New(65)
+	v2.SetAll()
+	if v2.Count() != 65 {
+		t.Fatalf("Count() = %d, want 65", v2.Count())
+	}
+}
+
+func TestSetIndividual(t *testing.T) {
+	v := New(70)
+	v.ClearAll()
+	v.Set(0)
+	v.Set(69)
+	v.Set(69) // idempotent
+	if v.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2", v.Count())
+	}
+	if !v.IsSet(0) || !v.IsSet(69) || v.IsSet(35) {
+		t.Fatal("Set/IsSet mismatch")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, f := range []func(){
+		func() { v.TestAndClear(-1) },
+		func() { v.TestAndClear(8) },
+		func() { v.IsSet(8) },
+		func() { v.Set(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on out-of-range index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestConcurrentTestAndClearExactlyOnce is the property the FT scheduler's
+// Guarantee 3 rests on: under arbitrary concurrency, each bit is won by
+// exactly one caller per set-round.
+func TestConcurrentTestAndClearExactlyOnce(t *testing.T) {
+	const n = 512
+	const goroutines = 8
+	const rounds = 50
+	v := New(n)
+	for round := 0; round < rounds; round++ {
+		wins := make([]int, n)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]int, n)
+				for i := 0; i < n; i++ {
+					if v.TestAndClear(i) {
+						local[i]++
+					}
+				}
+				mu.Lock()
+				for i, c := range local {
+					wins[i] += c
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		for i, c := range wins {
+			if c != 1 {
+				t.Fatalf("round %d: bit %d won %d times, want 1", round, i, c)
+			}
+		}
+		v.SetAll()
+	}
+}
+
+func TestQuickCountMatchesClears(t *testing.T) {
+	f := func(size uint8, clears []uint16) bool {
+		n := int(size)%500 + 1
+		v := New(n)
+		cleared := make(map[int]bool)
+		for _, c := range clears {
+			i := int(c) % n
+			want := !cleared[i]
+			if v.TestAndClear(i) != want {
+				return false
+			}
+			cleared[i] = true
+		}
+		return v.Count() == n-len(cleared)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetAllRestores(t *testing.T) {
+	f := func(size uint8, clears []uint16) bool {
+		n := int(size)%300 + 1
+		v := New(n)
+		for _, c := range clears {
+			v.TestAndClear(int(c) % n)
+		}
+		v.SetAll()
+		return v.Count() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{
+		0:                  0,
+		1:                  1,
+		0xFFFFFFFFFFFFFFFF: 64,
+		0x8000000000000001: 2,
+		0x5555555555555555: 32,
+	}
+	for x, want := range cases {
+		if got := popcount(x); got != want {
+			t.Errorf("popcount(%#x) = %d, want %d", x, got, want)
+		}
+	}
+}

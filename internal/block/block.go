@@ -1,0 +1,323 @@
+// Package block implements the versioned data-block store used by the task
+// graph applications.
+//
+// In the paper's model (§II), each task is synonymous with the definitions
+// of the data blocks it produces. Data blocks may be updated: as long as the
+// dependences ensure that all uses of version v of a block causally precede
+// the definition of version v+1, the runtime may reuse the memory of v to
+// store v+1. This reuse is exactly what makes recovery interesting: after a
+// fault, a consumer may need a version that has already been overwritten, in
+// which case the producer of that version is re-executed (treated as if it
+// failed), cascading backwards as needed (§IV, §VI).
+//
+// The store models reuse with a per-block retention ring: a block retains
+// the K most recently *written* versions ("most recently written", not
+// "highest version number", because a recovery that rewrites version v into
+// a K=1 slot physically evicts v+1, which is what forces the paper's
+// re-execution chain). K=1 is the memory-reuse configuration, K=2 is the
+// two-versions-per-block configuration the paper uses for Floyd-Warshall,
+// and K=0 means unlimited retention (single-assignment).
+package block
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ftdag/internal/cmap"
+)
+
+// ID identifies a logical data block (e.g. one tile of a matrix).
+type ID int64
+
+// Ref names one version of one block.
+type Ref struct {
+	Block   ID
+	Version int
+}
+
+func (r Ref) String() string { return fmt.Sprintf("block %d v%d", r.Block, r.Version) }
+
+// Sentinel error categories. Callers use errors.Is; the concrete error
+// carries the Ref involved.
+var (
+	// ErrNotRetained reports that the requested version has been evicted
+	// (overwritten by a later version) or never written.
+	ErrNotRetained = errors.New("block version not retained")
+	// ErrCorrupted reports that the version is present but its contents
+	// are poisoned (fault-injected) or fail checksum verification.
+	ErrCorrupted = errors.New("block version corrupted")
+)
+
+// AccessError is the concrete error returned by Read; it records which
+// reference failed so the executor can attribute the failure to the
+// producing task.
+type AccessError struct {
+	Ref Ref
+	Err error // ErrNotRetained or ErrCorrupted
+}
+
+func (e *AccessError) Error() string { return fmt.Sprintf("%v: %v", e.Ref, e.Err) }
+func (e *AccessError) Unwrap() error { return e.Err }
+
+type entry struct {
+	version   int
+	producer  int64 // task key that produced this version
+	data      []float64
+	checksum  uint64
+	corrupted atomic.Bool
+}
+
+type slot struct {
+	mu sync.Mutex
+	// entries ordered oldest-written first; len <= retention when
+	// retention > 0.
+	entries []*entry
+}
+
+// Stats counts store activity for the experiment harness.
+type Stats struct {
+	Writes        int64
+	Reads         int64
+	Evictions     int64
+	CorruptReads  int64
+	MissingReads  int64
+	BytesRetained int64 // high-water mark of retained float64 payload bytes
+}
+
+// Store is a concurrent versioned block store.
+type Store struct {
+	retention int // K; 0 = unlimited
+	verify    bool
+	slots     *cmap.Map[*slot]
+
+	writes       atomic.Int64
+	reads        atomic.Int64
+	evictions    atomic.Int64
+	corruptReads atomic.Int64
+	missingReads atomic.Int64
+	retainedF64  atomic.Int64
+	highWaterF64 atomic.Int64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithVerification enables checksum verification on every read, in addition
+// to the poisoned-flag check. Tests enable it; benchmarks model the paper's
+// flag-based detection and leave it off.
+func WithVerification() Option { return func(s *Store) { s.verify = true } }
+
+// NewStore returns a store retaining the given number of most recently
+// written versions per block (0 = unlimited, the single-assignment model).
+func NewStore(retention int, opts ...Option) *Store {
+	if retention < 0 {
+		panic("block: retention must be >= 0")
+	}
+	s := &Store{retention: retention, slots: cmap.New[*slot]()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Retention returns the configured K.
+func (s *Store) Retention() int { return s.retention }
+
+func (s *Store) slotFor(b ID) *slot {
+	sl, _ := s.slots.LoadOrStore(int64(b), func() *slot { return &slot{} })
+	return sl
+}
+
+// Write stores data as the given version of the block, produced by task
+// producer. It takes ownership of data. It returns the producer task keys
+// of any versions evicted to honour the retention limit — the executor
+// marks those tasks overwritten (paper §IV: "Our algorithm tracks such
+// overwrites"). Rewriting a version that is still retained replaces it in
+// place (this is how recovery repairs a corrupted version) and evicts
+// nothing.
+func (s *Store) Write(b ID, version int, producer int64, data []float64) (evictedProducers []int64) {
+	e := &entry{version: version, producer: producer, data: data, checksum: checksum(data)}
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	s.writes.Add(1)
+	delta := int64(len(data))
+	for i, old := range sl.entries {
+		if old.version == version {
+			sl.entries[i] = e
+			// Move the rewritten entry to the most-recently-written
+			// position to mirror a physical buffer write.
+			copy(sl.entries[i:], sl.entries[i+1:])
+			sl.entries[len(sl.entries)-1] = e
+			s.addRetained(delta - int64(len(old.data)))
+			return nil
+		}
+	}
+	sl.entries = append(sl.entries, e)
+	if s.retention > 0 {
+		for len(sl.entries) > s.retention {
+			victim := sl.entries[0]
+			sl.entries = sl.entries[1:]
+			s.evictions.Add(1)
+			delta -= int64(len(victim.data))
+			evictedProducers = append(evictedProducers, victim.producer)
+		}
+	}
+	// Applied as one net delta so the high-water mark models physical
+	// buffer reuse rather than transiently double-counting the evicted
+	// payload.
+	s.addRetained(delta)
+	return evictedProducers
+}
+
+func (s *Store) addRetained(delta int64) {
+	n := s.retainedF64.Add(delta)
+	for {
+		hw := s.highWaterF64.Load()
+		if n <= hw || s.highWaterF64.CompareAndSwap(hw, n) {
+			return
+		}
+	}
+}
+
+// Read returns the data of the given block version. The returned slice is
+// owned by the store and must be treated as read-only. A missing (evicted or
+// never-written) version yields ErrNotRetained; a poisoned or
+// checksum-failing version yields ErrCorrupted. Both are wrapped in an
+// *AccessError carrying the Ref.
+func (s *Store) Read(b ID, version int) ([]float64, error) {
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	var e *entry
+	for _, cand := range sl.entries {
+		if cand.version == version {
+			e = cand
+			break
+		}
+	}
+	sl.mu.Unlock()
+	s.reads.Add(1)
+	if e == nil {
+		s.missingReads.Add(1)
+		return nil, &AccessError{Ref: Ref{b, version}, Err: ErrNotRetained}
+	}
+	if e.corrupted.Load() {
+		s.corruptReads.Add(1)
+		return nil, &AccessError{Ref: Ref{b, version}, Err: ErrCorrupted}
+	}
+	if s.verify && checksum(e.data) != e.checksum {
+		s.corruptReads.Add(1)
+		return nil, &AccessError{Ref: Ref{b, version}, Err: ErrCorrupted}
+	}
+	return e.data, nil
+}
+
+// Producer returns the task key recorded as producer of the given retained
+// version, if present.
+func (s *Store) Producer(b ID, version int) (int64, bool) {
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	for _, e := range sl.entries {
+		if e.version == version {
+			return e.producer, true
+		}
+	}
+	return 0, false
+}
+
+// Retained reports whether the given version is currently retained and
+// uncorrupted.
+func (s *Store) Retained(b ID, version int) bool {
+	_, err := s.Read(b, version)
+	return err == nil
+}
+
+// Corrupt poisons the given version if it is retained, returning whether it
+// was. Used by the fault injector; every subsequent Read observes the error
+// (the paper's detection model). The payload is also scrambled so that
+// checksum verification independently detects the corruption.
+func (s *Store) Corrupt(b ID, version int) bool {
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	for _, e := range sl.entries {
+		if e.version == version {
+			e.corrupted.Store(true)
+			if len(e.data) > 0 {
+				e.data[0] = flipBits(e.data[0])
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Versions returns the retained version numbers of a block, oldest written
+// first. Diagnostic use.
+func (s *Store) Versions(b ID) []int {
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	out := make([]int, len(sl.entries))
+	for i, e := range sl.entries {
+		out[i] = e.version
+	}
+	return out
+}
+
+// Latest returns the highest retained, uncorrupted version of a block and
+// its data. Used when extracting final results.
+func (s *Store) Latest(b ID) (int, []float64, bool) {
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	best := -1
+	var data []float64
+	for _, e := range sl.entries {
+		if e.version > best && !e.corrupted.Load() {
+			best = e.version
+			data = e.data
+		}
+	}
+	return best, data, best >= 0
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Writes:        s.writes.Load(),
+		Reads:         s.reads.Load(),
+		Evictions:     s.evictions.Load(),
+		CorruptReads:  s.corruptReads.Load(),
+		MissingReads:  s.missingReads.Load(),
+		BytesRetained: s.highWaterF64.Load() * 8,
+	}
+}
+
+// checksum is FNV-1a over the float64 bit patterns.
+func checksum(data []float64) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for _, f := range data {
+		bits := float64bits(f)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xff
+			h *= prime
+			bits >>= 8
+		}
+	}
+	return h
+}
+
+func float64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func flipBits(f float64) float64 {
+	return math.Float64frombits(math.Float64bits(f) ^ 0xDEADBEEFCAFEF00D)
+}

@@ -1,0 +1,141 @@
+// Package cmap provides a sharded (lock-striped) concurrent hash map.
+//
+// The fault-tolerant scheduler keeps two concurrent maps keyed by task key:
+// the task table (key → current task descriptor + life number) and the
+// recovery table R (key → most recent life whose recovery has been
+// initiated). Both need an atomic insert-if-absent (the paper's
+// INSERTTASKIFABSENT / INSERTRECORD), which sync.Map supports only through
+// LoadOrStore with pre-allocated values; the striped design here lets the
+// caller construct a value only when the insert actually happens and gives
+// predictable iteration for diagnostics.
+package cmap
+
+import (
+	"sync"
+)
+
+// shardCount is the number of lock stripes. A modest power of two keeps the
+// map cheap at low core counts while still avoiding contention collapse when
+// many workers hammer the task table during graph expansion.
+const shardCount = 64
+
+type shard[V any] struct {
+	mu sync.RWMutex
+	m  map[int64]V
+}
+
+// Map is a concurrent hash map from int64 task keys to values of type V.
+// The zero value is not usable; call New.
+type Map[V any] struct {
+	shards [shardCount]shard[V]
+}
+
+// New returns an empty map.
+func New[V any]() *Map[V] {
+	m := &Map[V]{}
+	for i := range m.shards {
+		m.shards[i].m = make(map[int64]V)
+	}
+	return m
+}
+
+func (m *Map[V]) shard(key int64) *shard[V] {
+	// Fibonacci hashing spreads sequential task keys (common: row-major
+	// tile indices) across shards.
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return &m.shards[h>>(64-6)]
+}
+
+// Load returns the value stored for key, if any.
+func (m *Map[V]) Load(key int64) (V, bool) {
+	s := m.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Store sets the value for key, replacing any previous value.
+func (m *Map[V]) Store(key int64, v V) {
+	s := m.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// LoadOrStore returns the existing value for key if present. Otherwise it
+// stores the value returned by mk and returns it. mk is invoked at most
+// once, under the shard lock, and only when the key is absent — this is the
+// paper's atomic INSERTTASKIFABSENT. inserted reports whether mk's value was
+// stored.
+func (m *Map[V]) LoadOrStore(key int64, mk func() V) (v V, inserted bool) {
+	s := m.shard(key)
+	s.mu.Lock()
+	if old, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return old, false
+	}
+	v = mk()
+	s.m[key] = v
+	s.mu.Unlock()
+	return v, true
+}
+
+// Update atomically applies f to the current value for key (zero value of V
+// if absent) and stores the result. It returns the stored value.
+func (m *Map[V]) Update(key int64, f func(old V, ok bool) V) V {
+	s := m.shard(key)
+	s.mu.Lock()
+	old, ok := s.m[key]
+	v := f(old, ok)
+	s.m[key] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Delete removes key from the map.
+func (m *Map[V]) Delete(key int64) {
+	s := m.shard(key)
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// Len returns the total number of entries. It locks each shard in turn, so
+// the result is a consistent per-shard snapshot, not a global one.
+func (m *Map[V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. Entries inserted or
+// removed concurrently may or may not be visited.
+func (m *Map[V]) Range(f func(key int64, v V) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !f(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Clear removes all entries.
+func (m *Map[V]) Clear() {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.m = make(map[int64]V)
+		s.mu.Unlock()
+	}
+}

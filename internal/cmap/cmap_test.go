@@ -1,0 +1,215 @@
+package cmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStore(t *testing.T) {
+	m := New[string]()
+	if _, ok := m.Load(1); ok {
+		t.Fatal("Load on empty map returned ok")
+	}
+	m.Store(1, "a")
+	m.Store(-7, "b")
+	if v, ok := m.Load(1); !ok || v != "a" {
+		t.Fatalf("Load(1) = %q,%v", v, ok)
+	}
+	if v, ok := m.Load(-7); !ok || v != "b" {
+		t.Fatalf("Load(-7) = %q,%v", v, ok)
+	}
+	m.Store(1, "c")
+	if v, _ := m.Load(1); v != "c" {
+		t.Fatalf("Load(1) after overwrite = %q", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestLoadOrStoreMkOnce(t *testing.T) {
+	m := New[int]()
+	calls := 0
+	v, inserted := m.LoadOrStore(5, func() int { calls++; return 42 })
+	if !inserted || v != 42 || calls != 1 {
+		t.Fatalf("first LoadOrStore: v=%d inserted=%v calls=%d", v, inserted, calls)
+	}
+	v, inserted = m.LoadOrStore(5, func() int { calls++; return 99 })
+	if inserted || v != 42 || calls != 1 {
+		t.Fatalf("second LoadOrStore: v=%d inserted=%v calls=%d", v, inserted, calls)
+	}
+}
+
+// TestLoadOrStoreConcurrentSingleWinner is INSERTTASKIFABSENT's contract:
+// exactly one of many concurrent inserters for the same key wins.
+func TestLoadOrStoreConcurrentSingleWinner(t *testing.T) {
+	const goroutines = 16
+	const keys = 200
+	m := New[int]()
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := int64(0); k < keys; k++ {
+				_, inserted := m.LoadOrStore(k, func() int { return g })
+				if inserted {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != keys {
+		t.Fatalf("total insert wins = %d, want %d", wins.Load(), keys)
+	}
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := New[int]()
+	got := m.Update(3, func(old int, ok bool) int {
+		if ok {
+			t.Fatal("Update of absent key reported present")
+		}
+		return 10
+	})
+	if got != 10 {
+		t.Fatalf("Update returned %d, want 10", got)
+	}
+	got = m.Update(3, func(old int, ok bool) int {
+		if !ok || old != 10 {
+			t.Fatalf("Update old=%d ok=%v", old, ok)
+		}
+		return old + 1
+	})
+	if got != 11 {
+		t.Fatalf("Update returned %d, want 11", got)
+	}
+}
+
+func TestUpdateConcurrentCounter(t *testing.T) {
+	m := New[int]()
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Update(0, func(old int, ok bool) int { return old + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := m.Load(0); v != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", v, goroutines*perG)
+	}
+}
+
+func TestDeleteAndClear(t *testing.T) {
+	m := New[int]()
+	for k := int64(0); k < 10; k++ {
+		m.Store(k, int(k))
+	}
+	m.Delete(5)
+	if _, ok := m.Load(5); ok {
+		t.Fatal("Load(5) after Delete returned ok")
+	}
+	if m.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", m.Len())
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", m.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[int]()
+	want := map[int64]int{}
+	for k := int64(0); k < 100; k++ {
+		m.Store(k, int(k*2))
+		want[k] = int(k * 2)
+	}
+	got := map[int64]int{}
+	m.Range(func(k int64, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	n := 0
+	m.Range(func(int64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("Range with early stop visited %d, want 3", n)
+	}
+}
+
+// TestQuickModel compares against a plain map under random op sequences.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []struct {
+		Op  uint8
+		Key int8
+		Val int16
+	}) bool {
+		m := New[int16]()
+		model := map[int64]int16{}
+		for _, op := range ops {
+			k := int64(op.Key)
+			switch op.Op % 4 {
+			case 0:
+				m.Store(k, op.Val)
+				model[k] = op.Val
+			case 1:
+				got, ok := m.Load(k)
+				want, wok := model[k]
+				if ok != wok || got != want {
+					return false
+				}
+			case 2:
+				m.Delete(k)
+				delete(model, k)
+			case 3:
+				v, inserted := m.LoadOrStore(k, func() int16 { return op.Val })
+				if want, wok := model[k]; wok {
+					if inserted || v != want {
+						return false
+					}
+				} else {
+					if !inserted || v != op.Val {
+						return false
+					}
+					model[k] = op.Val
+				}
+			}
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLoadOrStoreHit(b *testing.B) {
+	m := New[int]()
+	m.LoadOrStore(1, func() int { return 1 })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.LoadOrStore(1, func() int { return 1 })
+	}
+}

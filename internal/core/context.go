@@ -1,0 +1,56 @@
+package core
+
+import (
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/trace"
+)
+
+// ftCtx is the graph.Context handed to user computes by the fault-tolerant
+// executor. It attributes block access failures to the producing task,
+// turning them into *fault.Error values that the executor's catch blocks
+// route to recovery, and it marks producer tasks overwritten when a write
+// evicts their retained version.
+type ftCtx struct {
+	e     *FT
+	t     *Task
+	wrote bool
+}
+
+var _ graph.Context = (*ftCtx)(nil)
+
+// ReadPred returns the block version produced by the given predecessor. On
+// corruption or eviction the error names the predecessor's current
+// incarnation, so the consumer's catch recovers the right task.
+func (c *ftCtx) ReadPred(pred graph.Key) ([]float64, error) {
+	ref := c.e.spec.Output(pred)
+	data, err := c.e.store.Read(ref.Block, ref.Version)
+	if err == nil {
+		return data, nil
+	}
+	life := 0
+	if pt, ok := c.e.tasks.Load(pred); ok {
+		life = pt.life
+	}
+	return nil, fault.Errorf(pred, life)
+}
+
+// Write stores the task's output block version. Evicting an older version
+// marks its producer overwritten: any task still needing that version will
+// observe the failure and re-execute the producer (paper §IV, cascading
+// re-execution).
+func (c *ftCtx) Write(data []float64) {
+	ref := c.e.spec.Output(c.t.key)
+	evicted := c.e.store.Write(ref.Block, ref.Version, c.t.key, data)
+	for _, p := range evicted {
+		if p == c.t.key {
+			continue
+		}
+		if pt, ok := c.e.tasks.Load(p); ok {
+			pt.overwritten.Store(true)
+			c.e.met.overwriteMarks.Add(1)
+			c.e.cfg.Trace.Emit(trace.Overwritten, p, pt.life, c.t.key)
+		}
+	}
+	c.wrote = true
+}

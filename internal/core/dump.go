@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ftdag/internal/graph"
+)
+
+// DumpStuck renders the state of up to max incomplete tasks — key, life,
+// status, join counter, outstanding notification bits, flags, and notify
+// array length. A correct fault-tolerant execution always drains (Lemma 3),
+// so this is attached to timeout errors as the first diagnostic a developer
+// reaches for when an experimental spec misbehaves.
+func (e *FT) DumpStuck(max int) string {
+	type row struct {
+		key  graph.Key
+		line string
+	}
+	var rows []row
+	total := 0
+	e.tasks.Range(func(k int64, t *Task) bool {
+		if t.Status() == Completed {
+			return true
+		}
+		total++
+		if len(rows) < max {
+			t.mu.Lock()
+			notify := len(t.notify)
+			t.mu.Unlock()
+			rows = append(rows, row{key: k, line: fmt.Sprintf(
+				"  task %d life=%d status=%v join=%d bits=%d/%d poisoned=%v overwritten=%v notify=%d",
+				k, t.life, t.Status(), t.join.Load(), t.bits.Count(), t.bits.Len(),
+				t.poisoned.Load(), t.overwritten.Load(), notify)})
+		}
+		return true
+	})
+	if total == 0 {
+		return "no incomplete tasks"
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d incomplete task(s) of %d in table:\n", total, e.tasks.Len())
+	for _, r := range rows {
+		sb.WriteString(r.line)
+		sb.WriteByte('\n')
+	}
+	if total > len(rows) {
+		fmt.Fprintf(&sb, "  … and %d more\n", total-len(rows))
+	}
+	return sb.String()
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ftdag/internal/bitvec"
+	"ftdag/internal/block"
+	"ftdag/internal/cmap"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/sched"
+	"ftdag/internal/trace"
+)
+
+// Config configures an executor run.
+type Config struct {
+	// Workers is the number of scheduler workers P (default 1).
+	Workers int
+	// Retention is the block store's version retention K: 0 retains all
+	// versions (single-assignment), 1 is the memory-reuse configuration,
+	// 2 is the two-version configuration the paper uses for
+	// Floyd-Warshall.
+	Retention int
+	// Plan is the fault-injection plan (nil: no faults).
+	Plan *fault.Plan
+	// VerifyChecksums additionally validates block checksums on every
+	// read (tests; the paper's detection model only needs the flag).
+	VerifyChecksums bool
+	// Timeout bounds the run; 0 means no bound. A correct FT execution
+	// always drains (Lemma 3), so tests set this as a hang watchdog.
+	Timeout time.Duration
+	// Cancel, when non-nil, aborts the run cooperatively (between tasks)
+	// as soon as it is closed; Run then returns ErrCancelled.
+	Cancel <-chan struct{}
+	// SchedPolicy selects the scheduling discipline (work stealing by
+	// default; the central-queue ablation exists for the scheduler
+	// design-choice benchmarks).
+	SchedPolicy sched.Policy
+	// Hooks is optional instrumentation.
+	Hooks Hooks
+	// Trace, when non-nil, records the executor's event stream
+	// (computes, faults, recoveries, resets) for post-mortem analysis.
+	Trace *trace.Log
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c Config) newStore() *block.Store {
+	if c.VerifyChecksums {
+		return block.NewStore(c.Retention, block.WithVerification())
+	}
+	return block.NewStore(c.Retention)
+}
+
+// ErrHung reports that the scheduler drained without completing the sink —
+// this would contradict Lemma 3 and indicates an executor bug (or an
+// injected fault on the sink's after-notify phase, which by design has no
+// observer).
+var ErrHung = errors.New("core: execution quiesced without completing the sink")
+
+// ErrTimeout reports that the configured watchdog expired.
+var ErrTimeout = errors.New("core: execution timed out")
+
+// ErrCancelled reports that Config.Cancel fired before the run completed.
+var ErrCancelled = errors.New("core: execution cancelled")
+
+// FT is the fault-tolerant dynamic task graph executor of Figures 2 and 3.
+// One FT value executes one graph once; construct a new one per run.
+type FT struct {
+	spec  graph.Spec
+	cfg   Config
+	store *block.Store
+	plan  *fault.Plan
+	tasks *cmap.Map[*Task]        // the paper's concurrent hash map of descriptors
+	rec   *cmap.Map[*atomicInt64] // the recovery table R: key → last life recovered
+	met   metrics
+}
+
+type atomicInt64 struct{ v int64 } // accessed only via sync/atomic through rec
+
+// NewFT returns a fault-tolerant executor for the spec.
+func NewFT(spec graph.Spec, cfg Config) *FT {
+	return &FT{
+		spec:  spec,
+		cfg:   cfg,
+		store: cfg.newStore(),
+		plan:  cfg.Plan,
+		tasks: cmap.New[*Task](),
+		rec:   cmap.New[*atomicInt64](),
+	}
+}
+
+// Store exposes the block store (result extraction, verification).
+func (e *FT) Store() *block.Store { return e.store }
+
+// TaskStatus returns the status of the current incarnation of key.
+func (e *FT) TaskStatus(key graph.Key) (Status, bool) {
+	t, ok := e.tasks.Load(key)
+	if !ok {
+		return 0, false
+	}
+	return t.Status(), true
+}
+
+// Run executes the task graph to completion and returns the result.
+func (e *FT) Run() (*Result, error) {
+	start := time.Now()
+	pool := sched.NewPoolWithPolicy(e.cfg.workers(), e.cfg.SchedPolicy)
+	sink, _ := e.insertIfAbsent(e.spec.Sink())
+	pool.Submit(func(w *sched.Worker) { e.initAndCompute(w, sink) })
+	if e.cfg.Cancel != nil {
+		cancelDone := make(chan struct{})
+		defer close(cancelDone)
+		go func() {
+			select {
+			case <-e.cfg.Cancel:
+				pool.Abort()
+			case <-cancelDone:
+			}
+		}()
+	}
+	if e.cfg.Timeout > 0 {
+		if !pool.WaitTimeout(e.cfg.Timeout) {
+			return nil, fmt.Errorf("%w after %v\n%s", ErrTimeout, e.cfg.Timeout, e.DumpStuck(16))
+		}
+	}
+	stats := pool.Close()
+	if pool.Aborted() {
+		return nil, ErrCancelled
+	}
+	elapsed := time.Since(start)
+
+	st, ok := e.tasks.Load(e.spec.Sink())
+	if !ok || st.Status() != Completed {
+		return nil, ErrHung
+	}
+	res := &Result{
+		Elapsed: elapsed,
+		Tasks:   e.tasks.Len(),
+		Metrics: e.met.snapshot(),
+		Sched:   stats,
+		Store:   e.store.Stats(),
+	}
+	res.ReexecutedTasks = res.Metrics.Computes - int64(res.Tasks)
+	ref := e.spec.Output(e.spec.Sink())
+	data, err := e.store.Read(ref.Block, ref.Version)
+	if err != nil {
+		// Only possible when a fault was injected on the sink's
+		// after-notify phase: nothing consumes the sink, so nothing
+		// recovers it (paper §IV: "a failed task whose successors
+		// already have been computed is not recovered").
+		return res, fmt.Errorf("core: sink output unreadable: %w", err)
+	}
+	res.Sink = data
+	return res, nil
+}
+
+// newTask builds a fresh incarnation descriptor.
+func (e *FT) newTask(key graph.Key, life int, recovery bool) *Task {
+	preds := e.spec.Predecessors(key)
+	t := &Task{key: key, life: life, recovery: recovery, preds: preds}
+	t.join.Store(int32(1 + len(preds)))
+	t.bits = bitvec.New(len(preds) + 1)
+	return t
+}
+
+// insertIfAbsent is INSERTTASKIFABSENT + GETTASK.
+func (e *FT) insertIfAbsent(key graph.Key) (*Task, bool) {
+	return e.tasks.LoadOrStore(key, func() *Task { return e.newTask(key, 0, false) })
+}
+
+// initAndCompute is INITANDCOMPUTE: traverse the immediate predecessors
+// (spawned so idle workers can steal the sub-traversals), then issue the
+// self-notification that makes the task eligible once every predecessor has
+// notified.
+func (e *FT) initAndCompute(w *sched.Worker, t *Task) {
+	for _, pkey := range t.preds {
+		pk := pkey
+		w.Spawn(func(w *sched.Worker) { e.tryInitCompute(w, t, pk) })
+	}
+	e.notifyOnce(w, t, t.key)
+}
+
+// tryInitCompute is TRYINITCOMPUTE: ensure the predecessor exists (exploring
+// it if this thread inserted it), then either register t in the
+// predecessor's notify array or, if the predecessor is already computed,
+// notify t directly. Any detected error on the predecessor triggers its
+// recovery.
+func (e *FT) tryInitCompute(w *sched.Worker, t *Task, pkey graph.Key) {
+	b, inserted := e.insertIfAbsent(pkey)
+	if inserted {
+		w.Spawn(func(w *sched.Worker) { e.initAndCompute(w, b) })
+	}
+	err := func() error { // try
+		if err := b.check(); err != nil {
+			return err
+		}
+		finished := true
+		b.mu.Lock()
+		if err := b.check(); err != nil {
+			b.mu.Unlock()
+			return err
+		}
+		if b.Status() < Computed {
+			b.notify = append(b.notify, t.key)
+			e.met.registrations.Add(1)
+			finished = false
+		}
+		b.mu.Unlock()
+		if finished {
+			e.notifyOnce(w, t, pkey)
+		}
+		return nil
+	}()
+	if err != nil { // catch
+		e.recoverFromError(w, err, b.key, b.life)
+	}
+}
+
+// notifyOnce is NOTIFYONCE: clear the bit for the notifying predecessor and,
+// if this notification won the bit, decrement the join counter; the thread
+// that takes it to zero executes the task. Errors accessing t trigger t's
+// recovery.
+func (e *FT) notifyOnce(w *sched.Worker, t *Task, pkey graph.Key) {
+	err := func() error { // try
+		if err := t.check(); err != nil {
+			return err
+		}
+		if !t.bits.TestAndClear(t.predIndex(pkey)) {
+			return nil
+		}
+		e.met.notifications.Add(1)
+		e.cfg.Trace.Emit(trace.Notify, t.key, t.life, pkey)
+		if t.join.Add(-1) == 0 {
+			e.computeAndNotify(w, t)
+		}
+		return nil
+	}()
+	if err != nil { // catch
+		e.recoverFromError(w, err, t.key, t.life)
+	}
+}
+
+// notifySuccessor is NOTIFYSUCCESSOR.
+func (e *FT) notifySuccessor(w *sched.Worker, from graph.Key, skey graph.Key) {
+	s, ok := e.tasks.Load(skey)
+	if !ok {
+		// The successor was registered, so it must exist; a missing
+		// entry can only mean the registration raced a recovery
+		// replacement, in which case the recovery scan covers it.
+		return
+	}
+	e.notifyOnce(w, s, from)
+}
+
+// computeAndNotify is COMPUTEANDNOTIFY: run the user compute, mark the task
+// Computed, then notify every successor enqueued in the notify array,
+// re-checking under the lock until the array stops growing, at which point
+// the task is Completed. Errors in the task itself are recovered; errors in
+// a predecessor's data reset this task for re-processing (Guarantee 5).
+func (e *FT) computeAndNotify(w *sched.Worker, t *Task) {
+	err := func() error { // try
+		if err := t.check(); err != nil {
+			return err
+		}
+		if e.plan.Fire(t.key, t.life, fault.BeforeCompute) {
+			e.inject(t, false)
+			return fault.Errorf(t.key, t.life)
+		}
+		if h := e.cfg.Hooks.OnCompute; h != nil {
+			h(t.key, t.life)
+		}
+		e.cfg.Trace.Emit(trace.ComputeStart, t.key, t.life, 0)
+		e.met.computes.Add(1)
+		ctx := &ftCtx{e: e, t: t}
+		if err := e.spec.Compute(ctx, t.key); err != nil {
+			e.met.computeErrors.Add(1)
+			return err
+		}
+		if !ctx.wrote {
+			panic(fmt.Sprintf("core: task %d computed without writing its output", t.key))
+		}
+		if e.plan.Fire(t.key, t.life, fault.AfterCompute) {
+			e.inject(t, true)
+			return fault.Errorf(t.key, t.life)
+		}
+		if h := e.cfg.Hooks.OnComputed; h != nil {
+			h(t.key, t.life)
+		}
+		e.cfg.Trace.Emit(trace.ComputeDone, t.key, t.life, 0)
+		t.status.Store(int32(Computed))
+		notified := 0
+		for {
+			t.mu.Lock()
+			if notified == len(t.notify) {
+				t.status.Store(int32(Completed))
+				t.mu.Unlock()
+				e.cfg.Trace.Emit(trace.Completed, t.key, t.life, int64(notified))
+				break
+			}
+			batch := append([]graph.Key(nil), t.notify[notified:]...)
+			t.mu.Unlock()
+			notified += len(batch)
+			for _, skey := range batch {
+				sk := skey
+				w.Spawn(func(w *sched.Worker) { e.notifySuccessor(w, t.key, sk) })
+			}
+		}
+		if e.plan.Fire(t.key, t.life, fault.AfterNotify) {
+			// Silent corruption: no exception here; the fault is
+			// observed (if at all) by later readers of the task's
+			// descriptor or output (§VI-B "after notify").
+			e.inject(t, true)
+		}
+		return nil
+	}()
+	if err != nil { // catch
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			panic(fmt.Sprintf("core: task %d compute returned non-fault error: %v", t.key, err))
+		}
+		e.cfg.Trace.Emit(trace.ComputeFault, t.key, t.life, fe.Key)
+		if fe.Key == t.key {
+			e.recoverTaskOnce(w, fe.Key, fe.Life)
+		} else {
+			// A predecessor's fault surfaced during our compute
+			// (Guarantee 5). The read error names the failed
+			// producer exactly, so recover it directly, then
+			// process this task anew; its re-traversal registers
+			// with the recovered incarnation and re-observes any
+			// other failed predecessors.
+			//
+			// This deviates from the paper's pseudocode, which
+			// instead detects overwritten predecessors during the
+			// reset re-traversal (the B.overwritten check in
+			// TRYINITCOMPUTE). That check is only sound when every
+			// predecessor's data is consumed by the successor; the
+			// blocked FW and SW graphs carry ordering-only
+			// anti-dependence edges whose predecessors are
+			// *legitimately* overwritten, and recovering those on
+			// traversal livelocks. Read-time attribution recovers
+			// exactly the producers whose data is needed.
+			e.recoverTaskOnce(w, fe.Key, fe.Life)
+			e.resetNode(w, t)
+		}
+	}
+}
+
+// inject poisons the task descriptor (and, when withBlock is set, the output
+// block version the incarnation has written).
+func (e *FT) inject(t *Task, withBlock bool) {
+	e.cfg.Trace.Emit(trace.Inject, t.key, t.life, boolArg(withBlock))
+	t.poisoned.Store(true)
+	if withBlock {
+		ref := e.spec.Output(t.key)
+		e.store.Corrupt(ref.Block, ref.Version)
+	}
+	e.met.injections.Add(1)
+}
+
+// recoverFromError routes a caught *fault.Error to recovery of the task it
+// names. Non-fault errors indicate executor bugs and panic.
+func (e *FT) recoverFromError(w *sched.Worker, err error, defaultKey graph.Key, defaultLife int) {
+	var fe *fault.Error
+	if errors.As(err, &fe) {
+		e.recoverTaskOnce(w, fe.Key, fe.Life)
+		return
+	}
+	panic(fmt.Sprintf("core: unexpected non-fault error on task %d: %v", defaultKey, err))
+}
+
+// recoverTaskOnce is RECOVERTASKONCE (Guarantee 1): only the thread that
+// wins the recovery-table race performs the recovery of this incarnation.
+func (e *FT) recoverTaskOnce(w *sched.Worker, key graph.Key, life int) {
+	if !e.isRecovering(key, life) {
+		e.recoverTask(w, key)
+	}
+}
+
+// isRecovering is ISRECOVERING: atomically claim responsibility for
+// recovering incarnation life of key. The table maps each key to the most
+// recent life whose recovery has been initiated; claiming succeeds by
+// inserting the first record or by advancing life-1 → life.
+func (e *FT) isRecovering(key graph.Key, life int) bool {
+	rec, inserted := e.rec.LoadOrStore(key, func() *atomicInt64 {
+		return &atomicInt64{v: int64(life)}
+	})
+	if inserted {
+		return false
+	}
+	return !atomic.CompareAndSwapInt64(&rec.v, int64(life-1), int64(life))
+}
+
+// recoverTask is RECOVERTASK (Guarantees 2, 4, 6): replace the descriptor
+// with a fresh incarnation, reconstruct its notify array by scanning
+// successors that are still waiting (Visited with their bit for this task
+// still set), and re-process the task as if newly created. Failures during
+// recovery restart the loop with yet another incarnation, unless some other
+// thread has already claimed that newer recovery.
+func (e *FT) recoverTask(w *sched.Worker, key graph.Key) {
+	for {
+		t := e.replaceTask(key)
+		if h := e.cfg.Hooks.OnRecover; h != nil {
+			h(key, t.life)
+		}
+		e.cfg.Trace.Emit(trace.RecoverStart, key, t.life, 0)
+		err := func() error { // try
+			for _, skey := range e.spec.Successors(key) {
+				s, ok := e.tasks.Load(skey)
+				if !ok {
+					continue // not yet discovered: nothing can be waiting on t
+				}
+				if err := e.reinitNotifyEntry(w, t, s); err != nil {
+					return err
+				}
+			}
+			w.Spawn(func(w *sched.Worker) { e.initAndCompute(w, t) })
+			return nil
+		}()
+		if err == nil {
+			return
+		}
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			panic(fmt.Sprintf("core: unexpected non-fault error recovering task %d: %v", key, err))
+		}
+		if e.isRecovering(key, t.life) {
+			return // another thread owns the newer recovery
+		}
+	}
+}
+
+// replaceTask is REPLACETASK: atomically install a fresh incarnation with
+// life+1.
+func (e *FT) replaceTask(key graph.Key) *Task {
+	var nt *Task
+	e.tasks.Update(key, func(old *Task, ok bool) *Task {
+		life := 0
+		if ok {
+			life = old.life + 1
+		}
+		nt = e.newTask(key, life, true)
+		return nt
+	})
+	e.met.recoveries.Add(1)
+	return nt
+}
+
+// reinitNotifyEntry is REINITNOTIFYENTRY (Guarantee 4): a successor that is
+// still Visited and whose notification bit for t is still set must have been
+// waiting (or would have registered) on the failed incarnation; enqueue it
+// in the new incarnation's notify array. Errors in the successor trigger its
+// recovery; errors in t propagate to recoverTask's retry loop.
+func (e *FT) reinitNotifyEntry(w *sched.Worker, t *Task, s *Task) error {
+	err := func() error { // try
+		if err := s.check(); err != nil {
+			return err
+		}
+		if s.Status() != Visited {
+			return nil
+		}
+		ind := s.predIndex(t.key)
+		if s.bits.IsSet(ind) {
+			if err := t.check(); err != nil {
+				return err
+			}
+			t.mu.Lock()
+			t.notify = append(t.notify, s.key)
+			t.mu.Unlock()
+			e.met.reinitEnqueues.Add(1)
+		}
+		return nil
+	}()
+	if err == nil {
+		return nil
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe) && fe.Key == s.key { // catch: error in S
+		e.recoverTaskOnce(w, fe.Key, fe.Life)
+		return nil
+	}
+	return err // rethrow: error in t (or unexpected)
+}
+
+// resetNode is RESETNODE (Guarantee 5): re-arm the join counter and bit
+// vector of the same incarnation and re-traverse its predecessors; the
+// traversal observes and recovers whichever predecessor failed. The join
+// counter is restored before the bits so that a stale concurrent
+// notification cannot decrement a counter that is about to be overwritten.
+func (e *FT) resetNode(w *sched.Worker, t *Task) {
+	e.met.resets.Add(1)
+	if h := e.cfg.Hooks.OnReset; h != nil {
+		h(t.key, t.life)
+	}
+	e.cfg.Trace.Emit(trace.Reset, t.key, t.life, 0)
+	err := func() error { // try
+		if err := t.check(); err != nil {
+			return err
+		}
+		t.join.Store(int32(1 + len(t.preds)))
+		t.bits.SetAll()
+		e.initAndCompute(w, t)
+		return nil
+	}()
+	if err != nil { // catch
+		e.recoverFromError(w, err, t.key, t.life)
+	}
+}
+
+// boolArg encodes a boolean as a trace event argument.
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ftdag/internal/block"
+	"ftdag/internal/graph"
+	"ftdag/internal/sched"
+)
+
+// metrics holds the executor's atomic counters.
+type metrics struct {
+	computes       atomic.Int64
+	computeErrors  atomic.Int64
+	recoveries     atomic.Int64
+	resets         atomic.Int64
+	registrations  atomic.Int64
+	notifications  atomic.Int64
+	injections     atomic.Int64
+	overwriteMarks atomic.Int64
+	reinitEnqueues atomic.Int64
+}
+
+// Metrics is an immutable snapshot of one run's executor counters.
+type Metrics struct {
+	// Computes counts user compute invocations, i.e. Σ_A N(A) in the
+	// paper's notation (including executions aborted by an injected
+	// after-compute fault).
+	Computes int64
+	// ComputeErrors counts compute invocations that observed an error
+	// (in themselves or a predecessor).
+	ComputeErrors int64
+	// Recoveries counts task replacements (REPLACETASK calls), i.e. the
+	// number of recovery initiations that won the at-most-once race.
+	Recoveries int64
+	// Resets counts RESETNODE invocations (task reprocessed in place
+	// after observing a predecessor failure during compute).
+	Resets int64
+	// Registrations counts successor enqueues into notify arrays during
+	// normal traversal; ReinitEnqueues counts those reconstructed by
+	// recovery scans.
+	Registrations  int64
+	ReinitEnqueues int64
+	// Notifications counts join-counter decrements that won their bit.
+	Notifications int64
+	// InjectionsFired counts faults actually injected.
+	InjectionsFired int64
+	// OverwriteMarks counts tasks marked overwritten by block eviction.
+	OverwriteMarks int64
+}
+
+func (m *metrics) snapshot() Metrics {
+	return Metrics{
+		Computes:        m.computes.Load(),
+		ComputeErrors:   m.computeErrors.Load(),
+		Recoveries:      m.recoveries.Load(),
+		Resets:          m.resets.Load(),
+		Registrations:   m.registrations.Load(),
+		ReinitEnqueues:  m.reinitEnqueues.Load(),
+		Notifications:   m.notifications.Load(),
+		InjectionsFired: m.injections.Load(),
+		OverwriteMarks:  m.overwriteMarks.Load(),
+	}
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("computes=%d errors=%d recoveries=%d resets=%d injected=%d overwrites=%d",
+		m.Computes, m.ComputeErrors, m.Recoveries, m.Resets, m.InjectionsFired, m.OverwriteMarks)
+}
+
+// Result summarises one task graph execution.
+type Result struct {
+	// Sink is the output data block of the sink task.
+	Sink []float64
+	// Elapsed is the wall-clock execution time (graph traversal only,
+	// excluding construction).
+	Elapsed time.Duration
+	// Tasks is the number of distinct tasks inserted into the task
+	// table (≥ T; recovery replaces in place so this equals T when the
+	// whole graph was reached).
+	Tasks int
+	// ReexecutedTasks is Computes − Tasks: the number of task
+	// executions beyond the first, the quantity Table II reports.
+	ReexecutedTasks int64
+	Metrics         Metrics
+	Sched           sched.Stats
+	Store           block.Stats
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("elapsed=%v tasks=%d reexec=%d %v", r.Elapsed, r.Tasks, r.ReexecutedTasks, r.Metrics)
+}
+
+// Hooks are optional test instrumentation callbacks. They must be safe for
+// concurrent use. Nil hooks are skipped.
+type Hooks struct {
+	// OnCompute fires before each user compute invocation.
+	OnCompute func(key graph.Key, life int)
+	// OnComputed fires after a compute completes without error.
+	OnComputed func(key graph.Key, life int)
+	// OnRecover fires when a recovery is initiated (after replaceTask).
+	OnRecover func(key graph.Key, newLife int)
+	// OnReset fires on each resetNode.
+	OnReset func(key graph.Key, life int)
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"ftdag/internal/graph"
+	"ftdag/internal/sched"
+)
+
+// withWorker runs f on a live scheduler worker and waits for quiescence —
+// the recovery routines take a *sched.Worker for their spawns.
+func withWorker(t *testing.T, f func(w *sched.Worker)) {
+	t.Helper()
+	pool := sched.NewPool(1)
+	pool.Submit(func(w *sched.Worker) { f(w) })
+	if !pool.WaitTimeout(testTimeout) {
+		t.Fatal("worker did not quiesce")
+	}
+	pool.Close()
+}
+
+// TestReinitNotifyEntryBranches drives REINITNOTIFYENTRY through its three
+// outcomes directly: enqueue (Visited + bit set), skip on cleared bit, and
+// skip on already-computed successor.
+func TestReinitNotifyEntryBranches(t *testing.T) {
+	g := graph.Diamond(nil) // preds(3) = [1, 2]
+	e := NewFT(g, Config{})
+	withWorker(t, func(w *sched.Worker) {
+		pred := e.newTask(1, 1, true) // recovered incarnation of task 1
+		succ, _ := e.insertIfAbsent(3)
+
+		// Visited successor with the bit for task 1 still set → enqueue.
+		if err := e.reinitNotifyEntry(w, pred, succ); err != nil {
+			t.Fatalf("reinit: %v", err)
+		}
+		if len(pred.notify) != 1 || pred.notify[0] != 3 {
+			t.Fatalf("notify array = %v, want [3]", pred.notify)
+		}
+
+		// Bit already cleared (successor was notified) → no enqueue.
+		succ.bits.TestAndClear(succ.predIndex(1))
+		if err := e.reinitNotifyEntry(w, pred, succ); err != nil {
+			t.Fatal(err)
+		}
+		if len(pred.notify) != 1 {
+			t.Fatalf("notify array grew on cleared bit: %v", pred.notify)
+		}
+
+		// Computed successor → no enqueue regardless of bits.
+		succ.bits.SetAll()
+		succ.status.Store(int32(Computed))
+		if err := e.reinitNotifyEntry(w, pred, succ); err != nil {
+			t.Fatal(err)
+		}
+		if len(pred.notify) != 1 {
+			t.Fatalf("notify array grew for computed successor: %v", pred.notify)
+		}
+
+		// Poisoned successor → its recovery is initiated, no rethrow.
+		succ2, _ := e.insertIfAbsent(2)
+		succ2.poisoned.Store(true)
+		if err := e.reinitNotifyEntry(w, pred, succ2); err != nil {
+			t.Fatalf("reinit of poisoned successor returned error: %v", err)
+		}
+	})
+	// The poisoned successor's recovery must have replaced its entry.
+	cur, ok := e.tasks.Load(2)
+	if !ok || cur.Life() != 1 {
+		t.Fatalf("poisoned successor not recovered: life=%d", cur.Life())
+	}
+}
+
+// TestNotifySuccessorMissingTask: a notification for a key absent from the
+// table is dropped (covered by the recovery scan), not a crash.
+func TestNotifySuccessorMissingTask(t *testing.T) {
+	g := graph.Diamond(nil)
+	e := NewFT(g, Config{})
+	withWorker(t, func(w *sched.Worker) {
+		e.notifySuccessor(w, 0, 99) // 99 never inserted
+	})
+}
+
+// TestRecoverFromErrorPanicsOnForeignError: non-fault errors are executor
+// bugs and must not be silently routed to recovery.
+func TestRecoverFromErrorPanicsOnForeignError(t *testing.T) {
+	g := graph.Diamond(nil)
+	e := NewFT(g, Config{})
+	withWorker(t, func(w *sched.Worker) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on non-fault error")
+			}
+		}()
+		e.recoverFromError(w, errNotAFault{}, 0, 0)
+	})
+}
+
+type errNotAFault struct{}
+
+func (errNotAFault) Error() string { return "not a fault" }
+
+// TestRecoverTaskReconstructsNotifyArray is Guarantee 4 in isolation: a
+// recovered task's notify array must contain exactly the successors that
+// are still waiting on it.
+func TestRecoverTaskReconstructsNotifyArray(t *testing.T) {
+	g := graph.Diamond(nil) // succs(0) = [1, 2]
+	e := NewFT(g, Config{})
+	withWorker(t, func(w *sched.Worker) {
+		// The failed incarnation of task 0, plus: successor 1 waiting
+		// (Visited, bit set) and successor 2 already notified (bit
+		// cleared).
+		e.insertIfAbsent(0)
+		s1, _ := e.insertIfAbsent(1)
+		s2, _ := e.insertIfAbsent(2)
+		s2.bits.TestAndClear(s2.predIndex(0))
+		_ = s1
+
+		e.recoverTask(w, 0)
+	})
+	// Recovery re-ran task 0 (it is a source, so it computes straight
+	// away) and must have notified successor 1 — whose join is then
+	// waiting only on its self-notification — while not double-notifying
+	// successor 2.
+	t0, _ := e.tasks.Load(0)
+	if t0.Life() != 1 || t0.Status() < Computed {
+		t.Fatalf("recovered task 0: life=%d status=%v", t0.Life(), t0.Status())
+	}
+	s1, _ := e.tasks.Load(1)
+	if s1.bits.IsSet(s1.predIndex(0)) {
+		t.Fatal("successor 1 was not notified by the recovered incarnation")
+	}
+	s2, _ := e.tasks.Load(2)
+	if got := s2.join.Load(); got != 2 {
+		// join started at 1+|preds| = 2; the cleared bit must have
+		// suppressed a second decrement.
+		t.Fatalf("successor 2 join = %d, want 2 (no double notification)", got)
+	}
+}
+
+// TestResetNodePoisonedSelf: resetting a task whose own descriptor is
+// poisoned must route to recovery of that task instead.
+func TestResetNodePoisonedSelf(t *testing.T) {
+	g := graph.Chain(3, nil)
+	e := NewFT(g, Config{})
+	withWorker(t, func(w *sched.Worker) {
+		task, _ := e.insertIfAbsent(2)
+		task.poisoned.Store(true)
+		e.resetNode(w, task)
+	})
+	cur, _ := e.tasks.Load(2)
+	if cur.Life() != 1 {
+		t.Fatalf("poisoned reset target not recovered: life=%d", cur.Life())
+	}
+}

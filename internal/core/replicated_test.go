@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+)
+
+func TestReplicatedFaultFree(t *testing.T) {
+	for name, g := range syntheticGraphs() {
+		t.Run(name, func(t *testing.T) {
+			want, _ := groundTruth(t, g, 0)
+			rec := NewRecorder(g)
+			res, stats, err := NewReplicated(rec, Config{Workers: 2, Timeout: testTimeout}).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := rec.Diff(want); d != "" {
+				t.Fatalf("diverged: %s", d)
+			}
+			props := graph.Analyze(g)
+			if res.Metrics.Computes != 2*int64(props.Tasks) {
+				t.Fatalf("computes = %d, want 2·%d (dual redundancy)",
+					res.Metrics.Computes, props.Tasks)
+			}
+			if stats.Mismatches != 0 {
+				t.Fatalf("fault-free mismatches: %d", stats.Mismatches)
+			}
+		})
+	}
+}
+
+func TestReplicatedDetectsSDC(t *testing.T) {
+	g := graph.Layered(5, 6, 3, 21, nil)
+	want, _ := groundTruth(t, g, 0)
+	plan := fault.NewPlan()
+	keys := fault.SelectTasks(g, fault.AnyTask, 6, 4)
+	for _, k := range keys {
+		plan.Add(k, fault.AfterCompute, 1)
+	}
+	rec := NewRecorder(g)
+	res, stats, err := NewReplicated(rec, Config{Workers: 3, Plan: plan, Timeout: testTimeout}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rec.Diff(want); d != "" {
+		t.Fatalf("diverged: %s", d)
+	}
+	if stats.Mismatches != int64(len(keys)) {
+		t.Fatalf("mismatches = %d, want %d", stats.Mismatches, len(keys))
+	}
+	// Each mismatch costs one extra replica pair.
+	if res.ReexecutedTasks != 2*int64(len(keys)) {
+		t.Fatalf("re-executed = %d, want %d", res.ReexecutedTasks, 2*len(keys))
+	}
+}
+
+// TestReplicationCostsDoubleWork is the paper's resource-utilization
+// argument: replication pays 2× computes even without faults, where the FT
+// scheduler pays ~0.
+func TestReplicationCostsDoubleWork(t *testing.T) {
+	g := graph.Tree(6, nil)
+	props := graph.Analyze(g)
+	ft, err := NewFT(g, Config{Workers: 2, Timeout: testTimeout}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, _, err := NewReplicated(g, Config{Workers: 2, Timeout: testTimeout}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Metrics.Computes != int64(props.Tasks) {
+		t.Fatalf("FT computes = %d", ft.Metrics.Computes)
+	}
+	if repl.Metrics.Computes != 2*int64(props.Tasks) {
+		t.Fatalf("replicated computes = %d", repl.Metrics.Computes)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ftdag/internal/block"
+	"ftdag/internal/graph"
+)
+
+// Sequential executes the task graph on a single thread in topological
+// order. It measures T1 (the work term of the completion-time bound) and
+// produces the ground-truth outputs against which the parallel executions
+// are verified (Theorem 1: same result with and without faults).
+type Sequential struct {
+	spec  graph.Spec
+	store *block.Store
+}
+
+// NewSequential returns a sequential executor with the given block-version
+// retention.
+func NewSequential(spec graph.Spec, retention int) *Sequential {
+	return &Sequential{spec: spec, store: block.NewStore(retention)}
+}
+
+// Store exposes the block store after Run.
+func (e *Sequential) Store() *block.Store { return e.store }
+
+// Run executes every task once, in topological order, and returns the
+// result. A read failure means the spec's dependences do not protect its
+// block reuse and is reported as an error.
+func (e *Sequential) Run() (*Result, error) {
+	order, err := graph.TopoOrder(e.spec)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, key := range order {
+		ctx := &seqCtx{e: e, key: key}
+		if err := e.spec.Compute(ctx, key); err != nil {
+			return nil, fmt.Errorf("core: sequential compute of task %d: %w", key, err)
+		}
+		if !ctx.wrote {
+			return nil, fmt.Errorf("core: task %d computed without writing its output", key)
+		}
+	}
+	elapsed := time.Since(start)
+	res := &Result{Elapsed: elapsed, Tasks: len(order), Store: e.store.Stats()}
+	res.Metrics.Computes = int64(len(order))
+	ref := e.spec.Output(e.spec.Sink())
+	data, err := e.store.Read(ref.Block, ref.Version)
+	if err != nil {
+		return nil, fmt.Errorf("core: sequential sink output unreadable: %w", err)
+	}
+	res.Sink = data
+	return res, nil
+}
+
+type seqCtx struct {
+	e     *Sequential
+	key   graph.Key
+	wrote bool
+}
+
+var _ graph.Context = (*seqCtx)(nil)
+
+func (c *seqCtx) ReadPred(pred graph.Key) ([]float64, error) {
+	ref := c.e.spec.Output(pred)
+	return c.e.store.Read(ref.Block, ref.Version)
+}
+
+func (c *seqCtx) Write(data []float64) {
+	ref := c.e.spec.Output(c.key)
+	c.e.store.Write(ref.Block, ref.Version, c.key, data)
+	c.wrote = true
+}

@@ -1,0 +1,118 @@
+// Package core implements the task graph executors: the fault-tolerant
+// work-stealing scheduler that is the paper's contribution (Figures 2 and 3),
+// the non-fault-tolerant NABBIT baseline it extends, and a sequential
+// reference executor used for T1 measurement and ground-truth verification.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ftdag/internal/bitvec"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+)
+
+// Status is the execution status of a task (paper §III). Once inserted into
+// the task table a task is Visited; after its compute function has run it is
+// Computed; once every successor enqueued in its notify array has been
+// notified it is Completed.
+type Status int32
+
+const (
+	Visited Status = iota
+	Computed
+	Completed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Visited:
+		return "Visited"
+	case Computed:
+		return "Computed"
+	case Completed:
+		return "Completed"
+	default:
+		return fmt.Sprintf("Status(%d)", int32(s))
+	}
+}
+
+// Task is the runtime descriptor of one incarnation of a task. A recovery
+// never mutates an existing descriptor back to health: it replaces the map
+// entry with a fresh incarnation carrying life+1 (paper REPLACETASK), so a
+// *Task pointer held by a stale thread keeps observing the failed state.
+type Task struct {
+	key  graph.Key
+	life int
+
+	// join is the number of outstanding notifications: one per
+	// predecessor plus one self-notification issued at the end of
+	// initAndCompute, so a task with all predecessors already Computed
+	// is still executed exactly once, by the self-notify.
+	join atomic.Int32
+
+	// bits has len(preds)+1 bits (the last is the self slot). Bit i is
+	// cleared at most once per round by the notification from
+	// predecessor i; the join counter is decremented only when the clear
+	// won the race (Guarantee 3).
+	bits *bitvec.Vector
+
+	mu     sync.Mutex // guards notify
+	notify []graph.Key
+
+	status atomic.Int32
+
+	// poisoned marks the descriptor as corrupted by a soft error; every
+	// subsequent access observes it via check (the paper's "once an
+	// error is detected, all subsequent accesses ... observe the error").
+	poisoned atomic.Bool
+
+	// overwritten marks that a data-block version this incarnation
+	// produced has been evicted by a later version; consumers that still
+	// need it must recover (re-execute) this task (paper §II/§IV).
+	overwritten atomic.Bool
+
+	// recovery marks incarnations created by recoverTask (life > 0).
+	recovery bool
+
+	// preds caches the spec's ordered predecessor list. The task graph
+	// structure is assumed resilient (paper §II), so this cache is not a
+	// fault target.
+	preds []graph.Key
+}
+
+// Key returns the task's key.
+func (t *Task) Key() graph.Key { return t.key }
+
+// Life returns the incarnation number (0 for the original execution).
+func (t *Task) Life() int { return t.life }
+
+// Status returns the current execution status.
+func (t *Task) Status() Status { return Status(t.status.Load()) }
+
+// check models the try-block around descriptor accesses: it returns a
+// *fault.Error for this incarnation if the descriptor is poisoned.
+func (t *Task) check() error {
+	if t.poisoned.Load() {
+		return fault.Errorf(t.key, t.life)
+	}
+	return nil
+}
+
+// predIndex is CONVERTPREDKEYTOINDEX: the position of pred in the ordered
+// predecessor list, or the extra self slot when pred == key. An unknown pred
+// is a spec inconsistency, reported as a panic rather than a recoverable
+// fault.
+func (t *Task) predIndex(pred graph.Key) int {
+	if pred == t.key {
+		return len(t.preds)
+	}
+	for i, p := range t.preds {
+		if p == pred {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("core: task %d notified by non-predecessor %d", t.key, pred))
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/trace"
+)
+
+// TestTraceFaultFreeRun checks the trace of a clean execution: one
+// compute-start/compute-done pair per task, no recovery events.
+func TestTraceFaultFreeRun(t *testing.T) {
+	g := graph.Layered(4, 5, 2, 3, nil)
+	log := trace.New(100000)
+	_, err := NewFT(g, Config{Workers: 2, Timeout: testTimeout, Trace: log}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := graph.Analyze(g)
+	if got := len(log.Filter(trace.ComputeStart)); got != props.Tasks {
+		t.Fatalf("%d compute-start events, want %d", got, props.Tasks)
+	}
+	if got := len(log.Filter(trace.ComputeDone)); got != props.Tasks {
+		t.Fatalf("%d compute-done events, want %d", got, props.Tasks)
+	}
+	if got := len(log.Filter(trace.Completed)); got != props.Tasks {
+		t.Fatalf("%d completed events, want %d", got, props.Tasks)
+	}
+	for _, kind := range []trace.Kind{trace.Inject, trace.RecoverStart, trace.Reset, trace.ComputeFault} {
+		if evs := log.Filter(kind); len(evs) != 0 {
+			t.Fatalf("unexpected %v events in fault-free run: %v", kind, evs)
+		}
+	}
+}
+
+// TestTraceRecoverySequence checks the causal order of the recovery events
+// for a single after-compute fault: inject → fault observed → recovery of
+// the next incarnation → its compute.
+func TestTraceRecoverySequence(t *testing.T) {
+	g := graph.Chain(10, nil)
+	const victim = 4
+	log := trace.New(100000)
+	plan := fault.NewPlan().Add(victim, fault.AfterCompute, 1)
+	_, err := NewFT(g, Config{Workers: 2, Timeout: testTimeout, Plan: plan, Trace: log}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := log.TaskHistory(victim)
+	var sawInject, sawFault, sawRecover, sawRecompute bool
+	for _, e := range hist {
+		switch e.Kind {
+		case trace.Inject:
+			if e.Life != 0 {
+				t.Fatalf("injection on life %d", e.Life)
+			}
+			sawInject = true
+		case trace.ComputeFault:
+			if !sawInject {
+				t.Fatal("fault observed before injection")
+			}
+			if e.Arg != victim {
+				t.Fatalf("fault attributed to task %d, want %d", e.Arg, victim)
+			}
+			sawFault = true
+		case trace.RecoverStart:
+			if !sawFault {
+				t.Fatal("recovery before fault observation")
+			}
+			if e.Life != 1 {
+				t.Fatalf("recovered into life %d, want 1", e.Life)
+			}
+			sawRecover = true
+		case trace.ComputeDone:
+			if sawRecover {
+				sawRecompute = true
+			}
+		}
+	}
+	if !sawInject || !sawFault || !sawRecover || !sawRecompute {
+		t.Fatalf("incomplete recovery sequence: inject=%v fault=%v recover=%v recompute=%v\n%v",
+			sawInject, sawFault, sawRecover, sawRecompute, hist)
+	}
+}
+
+// TestTracePaperWalkthrough reproduces §II on the Figure 1 graph with reuse
+// (C overwrites A's block). B fails after notifying; the trace must show
+// A's version being overwritten by C and B recovered.
+func TestTracePaperWalkthrough(t *testing.T) {
+	g := graph.PaperExample(true, nil)
+	const A, B, C = 0, 1, 2
+	log := trace.New(100000)
+	plan := fault.NewPlan().Add(B, fault.AfterNotify, 1)
+	_, err := NewFT(g, Config{
+		Workers: 1, Retention: 1, Timeout: testTimeout, Plan: plan, Trace: log,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C's write of (block A, version 1) evicts A's version 0.
+	overwrites := log.Filter(trace.Overwritten)
+	foundA := false
+	for _, e := range overwrites {
+		if e.Key == A && e.Arg == C {
+			foundA = true
+		}
+	}
+	if !foundA {
+		t.Fatalf("no overwrite of A by C recorded: %v", overwrites)
+	}
+	// B must have been recovered (C or E observed the corruption), and if
+	// B's recompute needed A's evicted output, A recovered too.
+	recs := log.Filter(trace.RecoverStart)
+	foundB := false
+	for _, e := range recs {
+		if e.Key == B {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Fatalf("B was not recovered: %v", recs)
+	}
+}
+
+// TestTraceDisabledCostsNothing just exercises the nil-log path end to end.
+func TestTraceDisabledCostsNothing(t *testing.T) {
+	g := graph.Diamond(nil)
+	res, err := NewFT(g, Config{Workers: 1, Timeout: 5 * time.Second}).Run()
+	if err != nil || res.Metrics.Computes != 4 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"ftdag/internal/graph"
+)
+
+// planJSON is the serialized form of a Plan: a reproducible experiment
+// manifest (seedless — the concrete fault sites are recorded, so a plan
+// saved from one run can be replayed exactly on another host).
+type planJSON struct {
+	Injections []injectionJSON `json:"injections"`
+}
+
+type injectionJSON struct {
+	Key   graph.Key `json:"key"`
+	Point string    `json:"point"`
+	Lives int       `json:"lives"`
+}
+
+var pointNames = map[Point]string{
+	BeforeCompute: "before-compute",
+	AfterCompute:  "after-compute",
+	AfterNotify:   "after-notify",
+}
+
+// ParsePoint converts the wire name of an injection point.
+func ParsePoint(s string) (Point, error) {
+	for p, name := range pointNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return NoPoint, fmt.Errorf("fault: unknown injection point %q", s)
+}
+
+// MarshalJSON serializes the plan's injections (not their fired state).
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{Injections: make([]injectionJSON, 0, len(p.m))}
+	keys := make([]graph.Key, 0, len(p.m))
+	for k := range p.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		inj := p.m[k]
+		name, ok := pointNames[inj.Point]
+		if !ok {
+			return nil, fmt.Errorf("fault: injection on task %d has invalid point %d", k, inj.Point)
+		}
+		out.Injections = append(out.Injections, injectionJSON{Key: k, Point: name, Lives: inj.Lives})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON replaces the plan's contents with the serialized
+// injections, all unfired.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	m := make(map[graph.Key]*Injection, len(in.Injections))
+	for _, inj := range in.Injections {
+		point, err := ParsePoint(inj.Point)
+		if err != nil {
+			return err
+		}
+		if inj.Lives < 1 || inj.Lives >= 64 {
+			return fmt.Errorf("fault: injection on task %d has invalid lives %d", inj.Key, inj.Lives)
+		}
+		if _, dup := m[inj.Key]; dup {
+			return fmt.Errorf("fault: duplicate injection for task %d", inj.Key)
+		}
+		m[inj.Key] = &Injection{Point: point, Lives: inj.Lives}
+	}
+	p.m = m
+	return nil
+}

@@ -1,0 +1,84 @@
+package graph
+
+// This file implements the quantities of the paper's performance analysis
+// (§V): the work T1 and span T∞ of a task graph under a per-task cost
+// model, and the non-asymptotic instantiation of Theorem 2's completion
+// time bound
+//
+//	O(T1/P + T∞ + lg(P/ε) + N·M·d + N·L(D)),
+//	L(D) = O((|E|/P + M)·min{d, P}),
+//
+// where N bounds per-task re-executions, M is the maximum path length in
+// tasks, and d the maximum degree. The harness uses these to check that
+// measured executions respect the bound's shape.
+
+// CostFunc gives the execution cost of a task (any unit; seconds when
+// comparing against wall-clock measurements).
+type CostFunc func(Key) float64
+
+// UnitCost charges 1 per task.
+func UnitCost(Key) float64 { return 1 }
+
+// WorkSpan returns the work T1 (total cost) and span T∞ (maximum cost of a
+// dependence path) of the graph reachable from the sink.
+func WorkSpan(s Spec, cost CostFunc) (t1, tinf float64) {
+	order, err := TopoOrder(s)
+	if err != nil {
+		panic("graph: WorkSpan on cyclic graph: " + err.Error())
+	}
+	pathCost := make(map[Key]float64, len(order))
+	for _, k := range order {
+		c := cost(k)
+		t1 += c
+		best := 0.0
+		for _, p := range s.Predecessors(k) {
+			if pathCost[p] > best {
+				best = pathCost[p]
+			}
+		}
+		pathCost[k] = best + c
+		if pathCost[k] > tinf {
+			tinf = pathCost[k]
+		}
+	}
+	return t1, tinf
+}
+
+// Bound holds the instantiated terms of Theorem 2.
+type Bound struct {
+	T1OverP    float64 // work term T1/P
+	TInf       float64 // span term T∞
+	Reexec     float64 // N·M·d: re-execution chain term
+	Contention float64 // N·L(D) = N·(E/P + M)·min(d, P)
+}
+
+// Total is the sum of the bound's terms (the Theorem 2 bound up to its
+// constant factor, ignoring the lg(P/ε) tail).
+func (b Bound) Total() float64 { return b.T1OverP + b.TInf + b.Reexec + b.Contention }
+
+// TheoremBound instantiates Theorem 2 for an execution on p workers where
+// no task runs more than n times (n = 1 for fault-free execution). cost
+// gives per-task costs for the work/span terms; the structural terms use
+// unit task costs, as in the paper.
+func TheoremBound(s Spec, p int, n int, cost CostFunc) Bound {
+	if p < 1 || n < 1 {
+		panic("graph: TheoremBound needs p >= 1 and n >= 1")
+	}
+	props := Analyze(s)
+	t1, tinf := WorkSpan(s, cost)
+	d := props.MaxInDegree
+	if props.MaxOutDegree > d {
+		d = props.MaxOutDegree
+	}
+	minDP := d
+	if p < d {
+		minDP = p
+	}
+	m := float64(props.CriticalPath)
+	return Bound{
+		T1OverP:    t1 / float64(p),
+		TInf:       tinf * float64(n),
+		Reexec:     float64(n) * m * float64(d),
+		Contention: float64(n) * (float64(props.Edges)/float64(p) + m) * float64(minDP),
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkSpanChain(t *testing.T) {
+	g := Chain(10, nil)
+	t1, tinf := WorkSpan(g, UnitCost)
+	if t1 != 10 || tinf != 10 {
+		t.Fatalf("chain: T1=%v T∞=%v, want 10/10", t1, tinf)
+	}
+}
+
+func TestWorkSpanDiamond(t *testing.T) {
+	g := Diamond(nil)
+	t1, tinf := WorkSpan(g, UnitCost)
+	if t1 != 4 || tinf != 3 {
+		t.Fatalf("diamond: T1=%v T∞=%v, want 4/3", t1, tinf)
+	}
+}
+
+func TestWorkSpanTree(t *testing.T) {
+	g := Tree(4, nil) // 31 nodes, depth 5
+	t1, tinf := WorkSpan(g, UnitCost)
+	if t1 != 31 || tinf != 5 {
+		t.Fatalf("tree: T1=%v T∞=%v, want 31/5", t1, tinf)
+	}
+}
+
+func TestWorkSpanWeighted(t *testing.T) {
+	// Diamond with asymmetric branch costs: span follows the heavy path.
+	g := Diamond(nil)
+	cost := func(k Key) float64 {
+		if k == 1 {
+			return 10
+		}
+		return 1
+	}
+	t1, tinf := WorkSpan(g, cost)
+	if t1 != 13 {
+		t.Fatalf("T1 = %v, want 13", t1)
+	}
+	if tinf != 12 { // 0(1) → 1(10) → 3(1)
+		t.Fatalf("T∞ = %v, want 12", tinf)
+	}
+}
+
+func TestWorkSpanMatchesAnalyzeCriticalPath(t *testing.T) {
+	for seed := uint64(1); seed < 6; seed++ {
+		g := Layered(6, 7, 3, seed, nil)
+		_, tinf := WorkSpan(g, UnitCost)
+		p := Analyze(g)
+		if tinf != float64(p.CriticalPath) {
+			t.Fatalf("seed %d: unit span %v != critical path %d", seed, tinf, p.CriticalPath)
+		}
+	}
+}
+
+func TestTheoremBoundShape(t *testing.T) {
+	g := Layered(6, 8, 3, 9, nil)
+	b1 := TheoremBound(g, 1, 1, UnitCost)
+	b8 := TheoremBound(g, 8, 1, UnitCost)
+	// Work term scales inversely with P; span term does not.
+	if math.Abs(b1.T1OverP-8*b8.T1OverP) > 1e-9 {
+		t.Fatalf("T1/P terms %v vs %v not 8x apart", b1.T1OverP, b8.T1OverP)
+	}
+	if b1.TInf != b8.TInf {
+		t.Fatalf("span terms differ: %v vs %v", b1.TInf, b8.TInf)
+	}
+	// Re-executions inflate the failure terms linearly.
+	b8n3 := TheoremBound(g, 8, 3, UnitCost)
+	if math.Abs(b8n3.Reexec-3*b8.Reexec) > 1e-9 {
+		t.Fatalf("reexec term %v vs %v not 3x", b8n3.Reexec, b8.Reexec)
+	}
+	if b8.Total() <= 0 {
+		t.Fatal("non-positive bound")
+	}
+	// At P=1 the bound must dominate the serial work.
+	if b1.Total() < b1.T1OverP {
+		t.Fatal("bound smaller than its own work term")
+	}
+}
+
+func TestTheoremBoundValidation(t *testing.T) {
+	g := Diamond(nil)
+	for _, bad := range [][2]int{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TheoremBound(%v) should panic", bad)
+				}
+			}()
+			TheoremBound(g, bad[0], bad[1], UnitCost)
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/stats"
+)
+
+// ComparatorRow is one row of the recovery-scheme comparison (an extension
+// beyond the paper's figures, quantifying the §I–II and §VII arguments
+// against collective checkpoint/restart and replication).
+type ComparatorRow struct {
+	App        string
+	Scheme     string
+	CleanTime  float64 // fault-free seconds (mean)
+	CleanOver  float64 // fault-free overhead % vs the FT scheduler
+	FaultyTime float64 // seconds with the fault scenario (mean)
+	Reexecuted float64 // mean re-executed computes under faults
+}
+
+// Comparators benchmarks the FT scheduler against the checkpoint/restart
+// and dual-modular-redundancy executors, fault-free and under the
+// 512-equivalent after-compute scenario.
+func (h *Harness) Comparators() ([]ComparatorRow, error) {
+	fmt.Fprintln(h.opts.Out, "== Recovery-scheme comparison: selective (FT) vs checkpoint/restart vs replication ==")
+	w := tabwriter.NewWriter(h.opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tscheme\tclean-t\tclean-over%\tfaulty-t\treexec")
+	var rows []ComparatorRow
+	for _, name := range AppNames {
+		a := h.App(name)
+		count := h.ScaledCount(name, 512)
+		mkPlan := func(seed int64) *fault.Plan {
+			return fault.PlanCount(a.Spec(), fault.VRand, fault.AfterCompute, count, seed)
+		}
+
+		type runner func(plan *fault.Plan) (*core.Result, error)
+		schemes := []struct {
+			name string
+			run  runner
+		}{
+			{"ft-selective", func(plan *fault.Plan) (*core.Result, error) {
+				return core.NewFT(a.Spec(), core.Config{
+					Workers: h.opts.Workers, Retention: a.Retention(), Plan: plan,
+				}).Run()
+			}},
+			{"checkpoint", func(plan *fault.Plan) (*core.Result, error) {
+				res, _, err := core.NewCheckpoint(a.Spec(), core.Config{
+					Workers: h.opts.Workers, Plan: plan,
+				}, 4).Run()
+				return res, err
+			}},
+			{"replication", func(plan *fault.Plan) (*core.Result, error) {
+				res, _, err := core.NewReplicated(a.Spec(), core.Config{
+					Workers: h.opts.Workers, Plan: plan,
+				}).Run()
+				return res, err
+			}},
+		}
+
+		var ftClean float64
+		for _, sc := range schemes {
+			var clean, faulty, reex []float64
+			for r := 0; r < h.opts.Runs; r++ {
+				cres, err := sc.run(nil)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s clean: %w", name, sc.name, err)
+				}
+				clean = append(clean, cres.Elapsed.Seconds())
+				fres, err := sc.run(mkPlan(h.opts.Seed + int64(r)))
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s faulty: %w", name, sc.name, err)
+				}
+				faulty = append(faulty, fres.Elapsed.Seconds())
+				reex = append(reex, float64(fres.ReexecutedTasks))
+			}
+			cm := stats.Summarize(clean).Mean
+			if sc.name == "ft-selective" {
+				ftClean = cm
+			}
+			row := ComparatorRow{
+				App:        name,
+				Scheme:     sc.name,
+				CleanTime:  cm,
+				CleanOver:  stats.OverheadPercent(cm, ftClean),
+				FaultyTime: stats.Summarize(faulty).Mean,
+				Reexecuted: stats.Summarize(reex).Mean,
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%s\t%s\t%.1fms\t%.1f\t%.1fms\t%.0f\n",
+				name, sc.name, row.CleanTime*1000, row.CleanOver, row.FaultyTime*1000, row.Reexecuted)
+		}
+	}
+	return rows, w.Flush()
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// writeCSV writes one experiment's rows to <CSVDir>/<name>.csv when CSV
+// output is enabled. The text tables remain the primary output; the CSV
+// mirrors them for plotting.
+func (h *Harness) writeCSV(name string, header []string, rows [][]string) error {
+	if h.opts.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(h.opts.CSVDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(h.opts.CSVDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func itoa(v int) string     { return strconv.Itoa(v) }
+
+// csvFig4 exports Figure 4 rows.
+func (h *Harness) csvFig4(rows []Fig4Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.App, itoa(r.P), ftoa(r.Baseline), ftoa(r.FT)}
+	}
+	return h.writeCSV("fig4", []string{"app", "p", "baseline_speedup", "ft_speedup"}, out)
+}
+
+// csvOverheads exports overhead rows (figures 5a, 5b, 6, counts).
+func (h *Harness) csvOverheads(name string, rows []OverheadRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, r.Scenario, r.Point.String(), r.Type.String(),
+			itoa(r.Count), ftoa(r.Overhead), ftoa(r.Std), ftoa(r.ReexecAvg),
+		}
+	}
+	return h.writeCSV(name,
+		[]string{"app", "scenario", "point", "type", "count", "overhead_pct", "std", "reexec"}, out)
+}
+
+// csvTable2 exports Table II rows.
+func (h *Harness) csvTable2(rows []Table2Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, r.Type.String(), itoa(r.Count),
+			ftoa(r.Summary.Mean), ftoa(r.Summary.Min), ftoa(r.Summary.Max), ftoa(r.Summary.Std),
+		}
+	}
+	return h.writeCSV("table2",
+		[]string{"app", "type", "injected", "avg", "min", "max", "std"}, out)
+}
+
+// csvFig7 exports Figure 7 rows.
+func (h *Harness) csvFig7(rows []Fig7Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.App, itoa(r.P), r.Scenario, ftoa(r.Overhead)}
+	}
+	return h.writeCSV("fig7", []string{"app", "p", "scenario", "overhead_pct"}, out)
+}
+
+// csvTheory exports the §V rows.
+func (h *Harness) csvTheory(rows []TheoryRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, itoa(r.P), ftoa(r.T1), ftoa(r.TInf),
+			ftoa(r.Greedy), ftoa(r.Measured), ftoa(r.Ratio),
+		}
+	}
+	return h.writeCSV("theory",
+		[]string{"app", "p", "t1_s", "tinf_s", "greedy_s", "measured_s", "ratio"}, out)
+}
+
+// csvComparators exports the recovery-scheme comparison.
+func (h *Harness) csvComparators(rows []ComparatorRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, r.Scheme, ftoa(r.CleanTime), ftoa(r.CleanOver),
+			ftoa(r.FaultyTime), ftoa(r.Reexecuted),
+		}
+	}
+	return h.writeCSV("comparators",
+		[]string{"app", "scheme", "clean_s", "clean_over_pct", "faulty_s", "reexec"}, out)
+}
+
+// csvTable1 exports the static configuration table.
+func (h *Harness) csvTable1() error {
+	if h.opts.CSVDir == "" {
+		return nil
+	}
+	out := make([][]string, 0, len(AppNames))
+	for _, name := range AppNames {
+		cfg := h.opts.Sizes[name]
+		p := h.Props(name)
+		out = append(out, []string{
+			name, itoa(cfg.N), itoa(cfg.B),
+			itoa(p.Tasks), itoa(p.Edges), itoa(p.CriticalPath),
+		})
+	}
+	return h.writeCSV("table1", []string{"app", "n", "b", "tasks", "edges", "critical_path"}, out)
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/stats"
+)
+
+// RetentionRow is one point of the block-version retention sweep.
+type RetentionRow struct {
+	App        string
+	Retention  int     // K (0 = single assignment)
+	CleanTime  float64 // fault-free seconds (mean)
+	RetainedMB float64 // block-store high-water mark
+	Reexec     float64 // mean re-executions under the 512-eq after-compute scenario
+}
+
+// Retention sweeps the block-version retention policy for the benchmarks
+// whose memory management the paper discusses (§VI): Floyd-Warshall, where
+// the authors doubled the memory ("retain two versions per data block") to
+// bound cascading recomputation, and LU, whose single-buffer reuse makes
+// recovery chains long. For each K the table reports the fault-free time,
+// the retained-memory high-water mark, and the re-execution count under the
+// fixed fault scenario — the memory/recovery-cost trade-off in one view.
+func (h *Harness) Retention() ([]RetentionRow, error) {
+	fmt.Fprintln(h.opts.Out, "== Retention sweep: memory vs recovery cascade (after-compute, v=rand, 512-eq) ==")
+	w := tabwriter.NewWriter(h.opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tK\tclean-t\tretainedMB\treexec")
+	var rows []RetentionRow
+	sweep := map[string][]int{
+		"LU": {1, 2, 3, 0},
+		"FW": {2, 3, 0},
+	}
+	for _, name := range []string{"LU", "FW"} {
+		a := h.App(name)
+		count := h.ScaledCount(name, 512)
+		for _, k := range sweep[name] {
+			var clean, retained, reex []float64
+			for r := 0; r < h.opts.Runs; r++ {
+				cres, err := core.NewFT(a.Spec(), core.Config{
+					Workers: h.opts.Workers, Retention: k,
+				}).Run()
+				if err != nil {
+					return nil, fmt.Errorf("%s K=%d clean: %w", name, k, err)
+				}
+				clean = append(clean, cres.Elapsed.Seconds())
+				retained = append(retained, float64(cres.Store.BytesRetained)/1e6)
+
+				plan := fault.PlanCount(a.Spec(), fault.VRand, fault.AfterCompute, count, h.opts.Seed+int64(r))
+				fres, err := core.NewFT(a.Spec(), core.Config{
+					Workers: h.opts.Workers, Retention: k, Plan: plan,
+				}).Run()
+				if err != nil {
+					return nil, fmt.Errorf("%s K=%d faulty: %w", name, k, err)
+				}
+				reex = append(reex, float64(fres.ReexecutedTasks))
+				if h.opts.Verify && r == 0 {
+					if err := a.VerifySink(fres.Sink); err != nil {
+						return nil, fmt.Errorf("%s K=%d: %w", name, k, err)
+					}
+				}
+			}
+			row := RetentionRow{
+				App:        name,
+				Retention:  k,
+				CleanTime:  stats.Summarize(clean).Mean,
+				RetainedMB: stats.Summarize(retained).Mean,
+				Reexec:     stats.Summarize(reex).Mean,
+			}
+			rows = append(rows, row)
+			kLabel := fmt.Sprint(k)
+			if k == 0 {
+				kLabel = "∞"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.1fms\t%.2f\t%.0f\n",
+				name, kLabel, row.CleanTime*1000, row.RetainedMB, row.Reexec)
+		}
+	}
+	return rows, w.Flush()
+}
+
+// csvRetention exports the sweep.
+func (h *Harness) csvRetention(rows []RetentionRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.App, itoa(r.Retention), ftoa(r.CleanTime), ftoa(r.RetainedMB), ftoa(r.Reexec)}
+	}
+	return h.writeCSV("retention", []string{"app", "k", "clean_s", "retained_mb", "reexec"}, out)
+}

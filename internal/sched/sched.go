@@ -1,0 +1,312 @@
+// Package sched implements a Cilk-style randomized work-stealing runtime.
+//
+// A Pool runs P workers, each a goroutine owning a Chase–Lev deque
+// (internal/deque). A job spawned by a running job is pushed to the bottom
+// of the spawning worker's own deque and popped LIFO, preserving the
+// depth-first order Cilk uses for the busy-leaves property; idle workers
+// steal FIFO from the top of a uniformly random victim's deque. This is the
+// scheduling discipline assumed by the paper's completion-time bounds
+// (Arora–Blumofe–Plaxton / Blumofe–Leiserson: T_P = O(T1/P + T∞) w.h.p.).
+//
+// The task-graph executors in internal/core express every traversal step
+// (TRYINITCOMPUTE, INITANDCOMPUTE, NOTIFYSUCCESSOR, …) as a spawned job.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftdag/internal/deque"
+)
+
+// Func is a unit of work. It receives the worker executing it so that
+// further spawns land on that worker's own deque, as in Cilk.
+type Func func(w *Worker)
+
+// Stats aggregates scheduler counters across all workers of a Pool run.
+type Stats struct {
+	Jobs         int64         // jobs executed
+	Spawns       int64         // jobs pushed by running jobs
+	Steals       int64         // successful steals
+	FailedSteals int64         // steal attempts that found nothing or lost a race
+	InjectorHits int64         // jobs taken from the external submission queue
+	IdleTime     time.Duration // total time workers spent backing off
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("jobs=%d spawns=%d steals=%d failedSteals=%d injectorHits=%d idle=%v",
+		s.Jobs, s.Spawns, s.Steals, s.FailedSteals, s.InjectorHits, s.IdleTime)
+}
+
+// Policy selects the pool's scheduling discipline. WorkStealing is the
+// NABBIT/Cilk discipline the paper's bounds assume; CentralQueue is an
+// ablation baseline where every spawn goes through one shared FIFO queue,
+// exposing the contention and lost locality that work stealing avoids.
+type Policy int
+
+const (
+	WorkStealing Policy = iota
+	CentralQueue
+)
+
+func (p Policy) String() string {
+	switch p {
+	case WorkStealing:
+		return "work-stealing"
+	case CentralQueue:
+		return "central-queue"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Worker is one scheduling thread of a Pool.
+type Worker struct {
+	pool  *Pool
+	id    int
+	dq    *deque.Deque[Func]
+	rng   uint64
+	stats Stats
+}
+
+// ID returns the worker's index in [0, P).
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the owning pool.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Spawn schedules f for execution. Under the work-stealing policy it is
+// pushed onto this worker's own deque (LIFO, stealable FIFO); under the
+// central-queue ablation policy it goes through the shared queue. Must be
+// called from a job running on w.
+func (w *Worker) Spawn(f Func) {
+	w.pool.pending.Add(1)
+	w.stats.Spawns++
+	if w.pool.policy == CentralQueue {
+		w.pool.injMu.Lock()
+		w.pool.inj = append(w.pool.inj, &f)
+		w.pool.injLen.Store(int64(len(w.pool.inj)))
+		w.pool.injMu.Unlock()
+		return
+	}
+	w.dq.PushBottom(&f)
+}
+
+// Pool is a fixed-size work-stealing worker pool.
+type Pool struct {
+	workers []*Worker
+	wg      sync.WaitGroup
+
+	injMu  sync.Mutex
+	inj    []*Func
+	injLen atomic.Int64 // lock-free emptiness peek for idle workers
+
+	pending atomic.Int64 // submitted + spawned - completed
+	stop    atomic.Bool
+	aborted atomic.Bool
+	policy  Policy
+
+	quiesceMu   sync.Mutex
+	quiesceCond *sync.Cond
+}
+
+// NewPool starts a work-stealing pool with p workers (p >= 1). The caller
+// should arrange GOMAXPROCS >= p if true parallelism is desired; the pool
+// itself only guarantees p concurrent logical workers.
+func NewPool(p int) *Pool { return NewPoolWithPolicy(p, WorkStealing) }
+
+// NewPoolWithPolicy starts a pool with the given scheduling policy.
+func NewPoolWithPolicy(p int, policy Policy) *Pool {
+	if p < 1 {
+		panic("sched: pool size must be >= 1")
+	}
+	pool := &Pool{policy: policy}
+	pool.quiesceCond = sync.NewCond(&pool.quiesceMu)
+	pool.workers = make([]*Worker, p)
+	for i := 0; i < p; i++ {
+		pool.workers[i] = &Worker{
+			pool: pool,
+			id:   i,
+			dq:   deque.New[Func](),
+			rng:  uint64(i)*0x9E3779B97F4A7C15 + 0x1234567F,
+		}
+	}
+	pool.wg.Add(p)
+	for _, w := range pool.workers {
+		go w.run()
+	}
+	return pool
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Submit schedules f from outside the pool (e.g. the root of a task-graph
+// traversal). Jobs submitted here are picked up by idle workers.
+func (p *Pool) Submit(f Func) {
+	p.pending.Add(1)
+	p.injMu.Lock()
+	p.inj = append(p.inj, &f)
+	p.injLen.Store(int64(len(p.inj)))
+	p.injMu.Unlock()
+}
+
+// Wait blocks until every submitted and spawned job has finished, or until
+// the pool is aborted.
+func (p *Pool) Wait() {
+	if p.pending.Load() == 0 {
+		return
+	}
+	p.quiesceMu.Lock()
+	for p.pending.Load() != 0 && !p.aborted.Load() {
+		p.quiesceCond.Wait()
+	}
+	p.quiesceMu.Unlock()
+}
+
+// Abort stops the pool without waiting for queued work: workers exit after
+// their current job, queued jobs are discarded, and Wait returns. Used for
+// cooperative cancellation; the pool cannot be reused afterwards.
+func (p *Pool) Abort() {
+	p.aborted.Store(true)
+	p.stop.Store(true)
+	p.quiesceMu.Lock()
+	p.quiesceCond.Broadcast()
+	p.quiesceMu.Unlock()
+}
+
+// Aborted reports whether Abort was called.
+func (p *Pool) Aborted() bool { return p.aborted.Load() }
+
+// WaitTimeout is Wait with a deadline; it reports whether quiescence was
+// reached. Used by tests as a hang watchdog (a correct FT executor must
+// always drain — Lemma 3).
+func (p *Pool) WaitTimeout(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	done := make(chan struct{})
+	go func() {
+		p.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Until(deadline)):
+		return false
+	}
+}
+
+// Close stops all workers after the pool is quiescent and returns the
+// aggregated statistics. The pool must not be used afterwards.
+func (p *Pool) Close() Stats {
+	p.Wait()
+	p.stop.Store(true)
+	p.wg.Wait()
+	var s Stats
+	for _, w := range p.workers {
+		s.Jobs += w.stats.Jobs
+		s.Spawns += w.stats.Spawns
+		s.Steals += w.stats.Steals
+		s.FailedSteals += w.stats.FailedSteals
+		s.InjectorHits += w.stats.InjectorHits
+		s.IdleTime += w.stats.IdleTime
+	}
+	return s
+}
+
+// Run is a convenience: execute root on a fresh pool of p workers, wait for
+// quiescence, and return the stats.
+func Run(p int, root Func) Stats {
+	pool := NewPool(p)
+	pool.Submit(root)
+	return pool.Close()
+}
+
+func (w *Worker) run() {
+	defer w.pool.wg.Done()
+	backoff := time.Microsecond
+	const maxBackoff = 256 * time.Microsecond
+	for {
+		if w.pool.aborted.Load() {
+			return // abandon queued work on abort
+		}
+		j := w.dq.PopBottom()
+		if j == nil {
+			j = w.findWork()
+		}
+		if j == nil {
+			if w.pool.stop.Load() {
+				return
+			}
+			start := time.Now()
+			if backoff < 8*time.Microsecond {
+				runtime.Gosched()
+			} else {
+				time.Sleep(backoff)
+			}
+			w.stats.IdleTime += time.Since(start)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Microsecond
+		(*j)(w)
+		if w.pool.pending.Add(-1) == 0 {
+			w.pool.quiesceMu.Lock()
+			w.pool.quiesceCond.Broadcast()
+			w.pool.quiesceMu.Unlock()
+		}
+		w.stats.Jobs++
+	}
+}
+
+// findWork tries the external injector, then a round of random steal
+// attempts against the other workers.
+func (w *Worker) findWork() *Func {
+	p := w.pool
+	if p.injLen.Load() > 0 {
+		p.injMu.Lock()
+		if n := len(p.inj); n > 0 {
+			j := p.inj[n-1]
+			p.inj = p.inj[:n-1]
+			p.injLen.Store(int64(len(p.inj)))
+			p.injMu.Unlock()
+			w.stats.InjectorHits++
+			return j
+		}
+		p.injMu.Unlock()
+	}
+	n := len(p.workers)
+	if n == 1 {
+		return nil
+	}
+	// One randomized pass over the other workers per call; the caller's
+	// backoff loop provides repetition.
+	for attempts := 0; attempts < n; attempts++ {
+		victim := p.workers[w.nextRand()%uint64(n)]
+		if victim == w {
+			continue
+		}
+		if j := victim.dq.Steal(); j != nil {
+			w.stats.Steals++
+			return j
+		}
+		w.stats.FailedSteals++
+	}
+	return nil
+}
+
+// nextRand is a xorshift64* PRNG; cheap and per-worker so victim selection
+// never contends.
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545F4914F6CDD1D
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSingleJob(t *testing.T) {
+	var ran atomic.Bool
+	stats := Run(1, func(w *Worker) { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("submitted job did not run")
+	}
+	if stats.Jobs != 1 {
+		t.Fatalf("Jobs = %d, want 1", stats.Jobs)
+	}
+}
+
+func TestSpawnFanOut(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		var count atomic.Int64
+		const n = 1000
+		stats := Run(p, func(w *Worker) {
+			for i := 0; i < n; i++ {
+				w.Spawn(func(w *Worker) { count.Add(1) })
+			}
+		})
+		if count.Load() != n {
+			t.Fatalf("P=%d: ran %d spawned jobs, want %d", p, count.Load(), n)
+		}
+		if stats.Jobs != n+1 {
+			t.Fatalf("P=%d: Jobs = %d, want %d", p, stats.Jobs, n+1)
+		}
+	}
+}
+
+// fib exercises deep recursive spawning with a join protocol built from
+// atomic counters, the same shape the task-graph executors use.
+func TestRecursiveSpawnFib(t *testing.T) {
+	const n = 18
+	want := seqFib(n)
+	for _, p := range []int{1, 3, 7} {
+		var result atomic.Int64
+		Run(p, func(w *Worker) { fib(w, n, &result) })
+		if result.Load() != want {
+			t.Fatalf("P=%d: fib(%d) = %d, want %d", p, n, result.Load(), want)
+		}
+	}
+}
+
+func fib(w *Worker, n int, out *atomic.Int64) {
+	if n < 2 {
+		out.Add(int64(n))
+		return
+	}
+	w.Spawn(func(w *Worker) { fib(w, n-1, out) })
+	fib(w, n-2, out)
+}
+
+func seqFib(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	a, b := int64(0), int64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func TestWaitThenReuse(t *testing.T) {
+	p := NewPool(2)
+	var c atomic.Int64
+	p.Submit(func(w *Worker) { c.Add(1) })
+	p.Wait()
+	if c.Load() != 1 {
+		t.Fatalf("after first Wait: %d jobs, want 1", c.Load())
+	}
+	// The pool must accept further rounds of work after quiescing.
+	for round := 0; round < 5; round++ {
+		p.Submit(func(w *Worker) {
+			c.Add(1)
+			w.Spawn(func(w *Worker) { c.Add(1) })
+		})
+		p.Wait()
+	}
+	if c.Load() != 11 {
+		t.Fatalf("after rounds: %d jobs, want 11", c.Load())
+	}
+	p.Close()
+}
+
+func TestWaitTimeout(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	p.Submit(func(w *Worker) { <-release })
+	if p.WaitTimeout(30 * time.Millisecond) {
+		t.Fatal("WaitTimeout returned true while a job was blocked")
+	}
+	close(release)
+	if !p.WaitTimeout(5 * time.Second) {
+		t.Fatal("WaitTimeout returned false after the job unblocked")
+	}
+	p.Close()
+}
+
+func TestStealsHappen(t *testing.T) {
+	// The root job fills its own deque and then parks without popping, so
+	// the spawned tasks can only complete via steals by the other
+	// workers. This holds even on a single hardware core, because the
+	// root's sleep yields the processor.
+	const n = 100
+	var c atomic.Int64
+	stats := Run(4, func(w *Worker) {
+		for i := 0; i < n; i++ {
+			w.Spawn(func(w *Worker) { c.Add(1) })
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Load() < n && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	})
+	if c.Load() != n {
+		t.Fatalf("ran %d, want %d", c.Load(), n)
+	}
+	if stats.Steals == 0 {
+		t.Fatalf("expected steals with a parked owner, got stats %v", stats)
+	}
+}
+
+func TestCloseAggregatesStats(t *testing.T) {
+	p := NewPool(3)
+	for i := 0; i < 10; i++ {
+		p.Submit(func(w *Worker) {
+			w.Spawn(func(w *Worker) {})
+		})
+	}
+	stats := p.Close()
+	if stats.Jobs != 20 {
+		t.Fatalf("Jobs = %d, want 20", stats.Jobs)
+	}
+	if stats.Spawns != 10 {
+		t.Fatalf("Spawns = %d, want 10", stats.Spawns)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestPoolSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) should panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestManyWorkersSmallWork(t *testing.T) {
+	// More workers than work: everything must still drain.
+	var c atomic.Int64
+	Run(16, func(w *Worker) { c.Add(1) })
+	if c.Load() != 1 {
+		t.Fatalf("ran %d, want 1", c.Load())
+	}
+}
+
+func BenchmarkSpawnOverhead(b *testing.B) {
+	p := NewPool(1)
+	defer p.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	p.Submit(func(w *Worker) {
+		for i := 0; i < b.N; i++ {
+			w.Spawn(func(w *Worker) {})
+		}
+	})
+	p.Wait()
+}
+
+func TestCentralQueuePolicy(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		pool := NewPoolWithPolicy(p, CentralQueue)
+		var c atomic.Int64
+		pool.Submit(func(w *Worker) {
+			for i := 0; i < 500; i++ {
+				w.Spawn(func(w *Worker) { c.Add(1) })
+			}
+		})
+		stats := pool.Close()
+		if c.Load() != 500 {
+			t.Fatalf("P=%d: ran %d, want 500", p, c.Load())
+		}
+		// Under the central queue, spawned work never touches the
+		// deques, so every job comes from the injector.
+		if stats.InjectorHits != 501 {
+			t.Fatalf("P=%d: injector hits = %d, want 501", p, stats.InjectorHits)
+		}
+		if stats.Steals != 0 {
+			t.Fatalf("P=%d: steals = %d under central queue", p, stats.Steals)
+		}
+	}
+}
+
+func TestCentralQueueRecursive(t *testing.T) {
+	var result atomic.Int64
+	pool := NewPoolWithPolicy(3, CentralQueue)
+	pool.Submit(func(w *Worker) { fib(w, 15, &result) })
+	pool.Close()
+	if result.Load() != seqFib(15) {
+		t.Fatalf("fib = %d, want %d", result.Load(), seqFib(15))
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if WorkStealing.String() != "work-stealing" || CentralQueue.String() != "central-queue" {
+		t.Fatal("policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy string empty")
+	}
+}

@@ -1,0 +1,103 @@
+// Package stats provides the small set of summary statistics the experiment
+// harness reports: arithmetic mean and standard deviation over repeated
+// runs (the paper reports 10-run means with standard-deviation error bars),
+// plus min/max for Table II.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation (n-1 denominator)
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4g std=%.4g min=%.4g max=%.4g (n=%d)", s.Mean, s.Std, s.Min, s.Max, s.N)
+}
+
+// SummarizeDurations converts durations to seconds and summarises them.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// SummarizeInts summarises integer observations (e.g. re-executed task
+// counts, Table II).
+func SummarizeInts(ns []int64) Summary {
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+	}
+	return Summarize(xs)
+}
+
+// Median returns the median of xs (0 for an empty sample).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// OverheadPercent returns 100·(t−base)/base, the paper's recovery-overhead
+// metric (execution-time increase over the fault-free FT run).
+func OverheadPercent(t, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (t - base) / base
+}
+
+// Speedup returns t1/tp, the paper's Figure 4 metric.
+func Speedup(t1, tp float64) float64 {
+	if tp == 0 {
+		return 0
+	}
+	return t1 / tp
+}

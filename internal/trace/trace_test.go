@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndSnapshot(t *testing.T) {
+	l := New(16)
+	l.Emit(ComputeStart, 1, 0, 0)
+	l.Emit(ComputeDone, 1, 0, 0)
+	l.Emit(Inject, 1, 0, 1)
+	events := l.Snapshot()
+	if len(events) != 3 {
+		t.Fatalf("Snapshot = %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if events[0].Kind != ComputeStart || events[2].Kind != Inject {
+		t.Fatalf("wrong kinds: %v", events)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	l := New(4)
+	for i := int64(0); i < 10; i++ {
+		l.Emit(Notify, i, 0, 0)
+	}
+	events := l.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// The four newest, in order.
+	for i, e := range events {
+		if e.Key != int64(6+i) {
+			t.Fatalf("event %d key = %d, want %d", i, e.Key, 6+i)
+		}
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+}
+
+func TestNilLogIsNoop(t *testing.T) {
+	var l *Log
+	l.Emit(Reset, 1, 2, 3) // must not panic
+	if l.Len() != 0 || l.Snapshot() != nil {
+		t.Fatal("nil log retained events")
+	}
+}
+
+func TestFilterAndHistory(t *testing.T) {
+	l := New(32)
+	l.Emit(ComputeStart, 5, 0, 0)
+	l.Emit(RecoverStart, 5, 1, 0)
+	l.Emit(ComputeStart, 6, 0, 0)
+	l.Emit(RecoverStart, 5, 2, 0)
+	recs := l.Filter(RecoverStart)
+	if len(recs) != 2 || recs[0].Life != 1 || recs[1].Life != 2 {
+		t.Fatalf("Filter = %v", recs)
+	}
+	hist := l.TaskHistory(5)
+	if len(hist) != 3 {
+		t.Fatalf("TaskHistory = %v", hist)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	l := New(1024)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Emit(Notify, int64(i), 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != goroutines*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), goroutines*per)
+	}
+	events := l.Snapshot()
+	seen := map[uint64]bool{}
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	l := New(8)
+	l.Emit(Overwritten, 3, 1, 9)
+	var sb strings.Builder
+	if err := l.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "overwritten") || !strings.Contains(out, "task=3") {
+		t.Fatalf("Dump output %q", out)
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
