@@ -1,0 +1,36 @@
+# CI gate for the FT-NABBIT reproduction.
+#
+#   make ci      — everything a PR must pass: tier-1 gate, vet, race tests
+#   make race    — race-check the concurrency-critical packages
+#   make bench-service — record the service throughput baseline
+
+GO ?= go
+
+.PHONY: ci build test vet race soak bench-service
+
+ci: build test vet race
+
+# Tier-1 gate (ROADMAP.md): must stay green on every PR.
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The concurrency-critical packages run under the race detector on every PR:
+# the work-stealing runtime, the sharded map backing the task/recovery
+# tables, and the multi-job service that multiplexes jobs onto one pool.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/...
+
+# Randomized end-to-end soak (not part of ci; run before releases).
+soak:
+	$(GO) run ./cmd/ftsoak -duration 30s
+	$(GO) run ./cmd/ftsoak -duration 30s -service -jobs 4
+
+# Service throughput baseline (BENCH_service.json).
+bench-service:
+	$(GO) run ./cmd/ftserve -load 40 -workers 4 -maxjobs 4 -benchout BENCH_service.json

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/harness"
+	"ftdag/internal/sched"
+	"ftdag/internal/service"
+	"ftdag/internal/stats"
+)
+
+// loadReport is the recorded outcome of one `ftserve -load` run — the
+// service throughput baseline (BENCH_service.json).
+type loadReport struct {
+	Timestamp         string  `json:"timestamp"`
+	Workers           int     `json:"workers"`
+	MaxConcurrentJobs int     `json:"max_concurrent_jobs"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	Sizes             string  `json:"sizes"`
+	Jobs              int     `json:"jobs"`
+	FaultedJobs       int     `json:"faulted_jobs"`
+	ElapsedSec        float64 `json:"elapsed_sec"`
+	JobsPerSec        float64 `json:"jobs_per_sec"`
+	// ExecMS summarises per-job execution latency (run only), SojournMS
+	// the submission-to-completion latency including queue wait.
+	ExecMS    summaryJSON `json:"exec_ms"`
+	SojournMS summaryJSON `json:"sojourn_ms"`
+	// QueueFullRetries counts Submit calls bounced by admission control
+	// and retried by the generator (backpressure working as intended).
+	QueueFullRetries int64        `json:"queue_full_retries"`
+	Totals           core.Metrics `json:"totals"`
+	ReexecutedTasks  int64        `json:"reexecuted_tasks"`
+	Sched            sched.Stats  `json:"sched"`
+}
+
+type summaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func toSummaryJSON(s stats.Summary) summaryJSON {
+	return summaryJSON{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}
+}
+
+// runLoad drives n concurrent jobs (the five app kernels round-robin, every
+// second job under a fault plan, all verified against the sequential
+// reference) through one in-process Server and records throughput.
+func runLoad(cfg service.Config, n int, sizeName, outPath string) error {
+	var sizes harness.Sizes
+	switch sizeName {
+	case "quick":
+		sizes = harness.QuickSizes()
+	case "bench":
+		sizes = harness.BenchSizes()
+	default:
+		return fmt.Errorf("unknown -loadsize %q (want quick or bench)", sizeName)
+	}
+	srv := service.New(cfg)
+	eff := srv.Config()
+	fmt.Printf("ftserve -load: %d jobs, workers=%d maxjobs=%d queue=%d sizes=%s\n",
+		n, eff.Workers, eff.MaxConcurrentJobs, eff.MaxQueuedJobs, sizeName)
+
+	// Pre-build the job specs so construction cost stays out of the
+	// measured window (apps are reused across jobs read-only; each job
+	// gets its own block store).
+	specs := make([]service.JobSpec, n)
+	faulted := 0
+	for i := 0; i < n; i++ {
+		name := harness.AppNames[i%len(harness.AppNames)]
+		a, err := harness.MakeApp(name, sizes[name])
+		if err != nil {
+			return err
+		}
+		spec := service.JobSpec{
+			Name:      fmt.Sprintf("%s#%d", name, i),
+			Spec:      a.Spec(),
+			Retention: a.Retention(),
+			Verify:    func(res *core.Result) error { return a.VerifySink(res.Sink) },
+		}
+		if i%2 == 1 {
+			spec.Plan = fault.PlanCount(a.Spec(), fault.AnyTask, fault.AfterCompute, 3, int64(1000+i))
+			faulted++
+		}
+		specs[i] = spec
+	}
+
+	start := time.Now()
+	handles := make([]*service.Handle, 0, n)
+	var retries int64
+	for _, spec := range specs {
+		for {
+			h, err := srv.Submit(spec)
+			if err == nil {
+				handles = append(handles, h)
+				break
+			}
+			if !errors.Is(err, service.ErrQueueFull) {
+				return err
+			}
+			retries++
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var execMS, sojournMS []float64
+	for _, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			return fmt.Errorf("job %d (%s): %w", h.ID(), h.Status().Name, err)
+		}
+		st := h.Status()
+		execMS = append(execMS, st.ElapsedMS)
+		sojournMS = append(sojournMS, float64(st.Finished.Sub(st.Submitted))/float64(time.Millisecond))
+	}
+	elapsed := time.Since(start)
+	snap := srv.Snapshot()
+	schedStats := srv.Close()
+
+	rep := loadReport{
+		Timestamp:         start.UTC().Format(time.RFC3339),
+		Workers:           eff.Workers,
+		MaxConcurrentJobs: eff.MaxConcurrentJobs,
+		QueueCapacity:     eff.MaxQueuedJobs,
+		Sizes:             sizeName,
+		Jobs:              n,
+		FaultedJobs:       faulted,
+		ElapsedSec:        elapsed.Seconds(),
+		JobsPerSec:        stats.Rate(n, elapsed),
+		ExecMS:            toSummaryJSON(stats.Summarize(execMS)),
+		SojournMS:         toSummaryJSON(stats.Summarize(sojournMS)),
+		QueueFullRetries:  retries,
+		Totals:            snap.Totals,
+		ReexecutedTasks:   snap.ReexecutedTasks,
+		Sched:             schedStats,
+	}
+	fmt.Printf("  %d jobs (%d faulted) in %.2fs — %.2f jobs/sec\n", n, faulted, rep.ElapsedSec, rep.JobsPerSec)
+	fmt.Printf("  exec latency ms: %v\n", stats.Summarize(execMS))
+	fmt.Printf("  sojourn    ms: %v\n", stats.Summarize(sojournMS))
+	fmt.Printf("  recoveries=%d injections=%d reexecuted=%d queue-full-retries=%d\n",
+		rep.Totals.Recoveries, rep.Totals.InjectionsFired, rep.ReexecutedTasks, retries)
+	fmt.Printf("  sched: %v\n", schedStats)
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	return nil
+}

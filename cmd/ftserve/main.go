@@ -1,0 +1,326 @@
+// Command ftserve runs the fault-tolerant task-graph scheduler as a
+// long-lived HTTP/JSON service: one shared work-stealing pool serving many
+// concurrent task-graph jobs (internal/service), with admission control,
+// per-job deadlines and cancellation, and per-job metrics/trace retrieval.
+//
+//	ftserve -addr :8080 -workers 4 -maxjobs 4 -queue 64
+//
+// Endpoints:
+//
+//	POST /jobs              submit a job (named app kernel or synthetic DAG)
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's status (metrics once finished)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /jobs/{id}/trace   the job's lifecycle as a Chrome/Perfetto trace
+//	GET  /metrics           scheduler stats, recovery totals, queue depths
+//	GET  /healthz           liveness
+//
+// A submission body names either a benchmark app or a synthetic DAG:
+//
+//	{"app": "LU", "n": 96, "b": 16, "seed": 4, "verify": true,
+//	 "faults": {"count": 3, "point": "after-compute", "type": "any", "seed": 9},
+//	 "deadline_ms": 5000, "trace_capacity": 4096}
+//	{"synthetic": {"layers": 4, "width": 8, "max_in": 3, "seed": 7}, "verify": true}
+//
+// The load-generator mode drives N concurrent jobs through the in-process
+// service (no HTTP) and records throughput and recovery counters:
+//
+//	ftserve -load 40 -workers 4 -maxjobs 4 -benchout BENCH_service.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftdag/internal/apps"
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/harness"
+	"ftdag/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		workers  = flag.Int("workers", 0, "shared pool size (0: GOMAXPROCS)")
+		maxJobs  = flag.Int("maxjobs", 4, "max concurrently executing jobs")
+		queue    = flag.Int("queue", 64, "admission queue capacity")
+		load     = flag.Int("load", 0, "load-generator mode: drive N jobs in-process and exit")
+		loadSize = flag.String("loadsize", "quick", "load-mode problem sizes: quick or bench")
+		benchOut = flag.String("benchout", "BENCH_service.json", "load-mode results file (empty: stdout only)")
+	)
+	flag.Parse()
+
+	cfg := service.Config{Workers: *workers, MaxConcurrentJobs: *maxJobs, MaxQueuedJobs: *queue}
+	if *load > 0 {
+		if err := runLoad(cfg, *load, *loadSize, *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := service.New(cfg)
+	d := &daemon{srv: srv, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.submit)
+	mux.HandleFunc("GET /jobs", d.list)
+	mux.HandleFunc("GET /jobs/{id}", d.status)
+	mux.HandleFunc("POST /jobs/{id}/cancel", d.cancel)
+	mux.HandleFunc("GET /jobs/{id}/trace", d.trace)
+	mux.HandleFunc("GET /metrics", d.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	log.Printf("ftserve: serving on %s (workers=%d maxjobs=%d queue=%d)",
+		*addr, srv.Config().Workers, srv.Config().MaxConcurrentJobs, srv.Config().MaxQueuedJobs)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// daemon wires the service into HTTP handlers.
+type daemon struct {
+	srv     *service.Server
+	started time.Time
+}
+
+// jobRequest is the submission body.
+type jobRequest struct {
+	// App names a benchmark kernel (LCS, SW, FW, LU, Cholesky) sized by
+	// N/B/Seed (unset fields fall back to the quick sizes).
+	App  string `json:"app,omitempty"`
+	N    int    `json:"n,omitempty"`
+	B    int    `json:"b,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	// Synthetic requests a random layered DAG instead of an app kernel.
+	Synthetic *syntheticRequest `json:"synthetic,omitempty"`
+	// Faults attaches a deterministic fault-injection plan.
+	Faults *faultRequest `json:"faults,omitempty"`
+	// DeadlineMS bounds the job's execution time in milliseconds.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// TraceCapacity > 0 records the job's lifecycle for GET /jobs/{id}/trace.
+	TraceCapacity int `json:"trace_capacity,omitempty"`
+	// Verify checks the sink against the sequential reference.
+	Verify bool `json:"verify,omitempty"`
+}
+
+type syntheticRequest struct {
+	Layers int    `json:"layers"`
+	Width  int    `json:"width"`
+	MaxIn  int    `json:"max_in"`
+	Seed   uint64 `json:"seed"`
+}
+
+type faultRequest struct {
+	Count int    `json:"count"`
+	Point string `json:"point"` // before-compute, after-compute, after-notify
+	Type  string `json:"type"`  // any, v0, vlast, vrand
+	Seed  int64  `json:"seed"`
+}
+
+func parseTaskType(s string) (fault.TaskType, error) {
+	switch strings.ToLower(s) {
+	case "", "any":
+		return fault.AnyTask, nil
+	case "v0":
+		return fault.V0, nil
+	case "vlast":
+		return fault.VLast, nil
+	case "vrand":
+		return fault.VRand, nil
+	}
+	return fault.AnyTask, fmt.Errorf("unknown task type %q (want any, v0, vlast, vrand)", s)
+}
+
+// buildJob turns a request into a JobSpec (constructing the graph and, when
+// asked, a verification closure against the sequential reference).
+func buildJob(req jobRequest) (service.JobSpec, error) {
+	var spec service.JobSpec
+	switch {
+	case req.Synthetic != nil && req.App != "":
+		return spec, fmt.Errorf("specify app or synthetic, not both")
+	case req.Synthetic != nil:
+		sr := *req.Synthetic
+		if sr.Layers < 1 || sr.Width < 1 {
+			return spec, fmt.Errorf("synthetic needs layers >= 1 and width >= 1")
+		}
+		if sr.MaxIn < 1 {
+			sr.MaxIn = 2
+		}
+		g := graph.Layered(sr.Layers, sr.Width, sr.MaxIn, sr.Seed|1, nil)
+		spec.Name = fmt.Sprintf("synthetic %dx%d", sr.Layers, sr.Width)
+		spec.Spec = g
+		if req.Verify {
+			seqRes, err := core.NewSequential(g, 0).Run()
+			if err != nil {
+				return spec, fmt.Errorf("synthetic ground truth: %w", err)
+			}
+			want := seqRes.Sink
+			spec.Verify = func(res *core.Result) error { return diffSink(res.Sink, want) }
+		}
+	case req.App != "":
+		cfg, ok := harness.QuickSizes()[req.App]
+		if !ok {
+			cfg = apps.Config{}
+		}
+		if req.N > 0 {
+			cfg.N = req.N
+		}
+		if req.B > 0 {
+			cfg.B = req.B
+		}
+		if req.Seed != 0 {
+			cfg.Seed = req.Seed
+		}
+		a, err := harness.MakeApp(req.App, cfg)
+		if err != nil {
+			return spec, err
+		}
+		spec.Name = fmt.Sprintf("%s N=%d B=%d", a.Name(), cfg.N, cfg.B)
+		spec.Spec = a.Spec()
+		spec.Retention = a.Retention()
+		if req.Verify {
+			spec.Verify = func(res *core.Result) error { return a.VerifySink(res.Sink) }
+		}
+	default:
+		return spec, fmt.Errorf("request needs an app name or a synthetic DAG")
+	}
+	if req.Faults != nil && req.Faults.Count > 0 {
+		point, err := fault.ParsePoint(orDefault(req.Faults.Point, "after-compute"))
+		if err != nil {
+			return spec, err
+		}
+		typ, err := parseTaskType(req.Faults.Type)
+		if err != nil {
+			return spec, err
+		}
+		spec.Plan = fault.PlanCount(spec.Spec, typ, point, req.Faults.Count, req.Faults.Seed)
+	}
+	if req.DeadlineMS > 0 {
+		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	spec.TraceCapacity = req.TraceCapacity
+	return spec, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// diffSink compares a sink against the sequential ground truth.
+func diffSink(got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("sink length %d != reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			return fmt.Errorf("sink[%d] = %g, reference %g", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	spec, err := buildJob(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := d.srv.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, h.Status())
+	case isQueueFull(err):
+		httpError(w, http.StatusTooManyRequests, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func isQueueFull(err error) bool { return errors.Is(err, service.ErrQueueFull) }
+
+func (d *daemon) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.srv.Jobs())
+}
+
+func (d *daemon) handle(w http.ResponseWriter, r *http.Request) (*service.Handle, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return nil, false
+	}
+	h, ok := d.srv.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return nil, false
+	}
+	return h, true
+}
+
+func (d *daemon) status(w http.ResponseWriter, r *http.Request) {
+	if h, ok := d.handle(w, r); ok {
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (d *daemon) cancel(w http.ResponseWriter, r *http.Request) {
+	if h, ok := d.handle(w, r); ok {
+		h.Cancel()
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (d *daemon) trace(w http.ResponseWriter, r *http.Request) {
+	h, ok := d.handle(w, r)
+	if !ok {
+		return
+	}
+	tl := h.Trace()
+	if tl == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %d was submitted without trace_capacity", h.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tl.WriteJSON(w); err != nil {
+		log.Printf("ftserve: writing trace of job %d: %v", h.ID(), err)
+	}
+}
+
+func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
+	snap := d.srv.Snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		UptimeSec float64 `json:"uptime_sec"`
+		service.Snapshot
+	}{time.Since(d.started).Seconds(), snap})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("ftserve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

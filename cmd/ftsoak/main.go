@@ -5,8 +5,14 @@
 // worker counts) and verifies every task's output. Any divergence, hang, or
 // error aborts with a reproduction recipe (graph seed + fault plan JSON).
 //
+// The -service mode routes the same scenarios through the multi-job
+// execution service instead of one-shot executors: batches of concurrent
+// jobs share one long-lived pool, and every job's full output is verified,
+// checking Theorem 1 end-to-end under multi-tenant load.
+//
 //	ftsoak -duration 30s
 //	ftsoak -duration 5m -maxworkers 8 -v
+//	ftsoak -duration 1m -service -jobs 4
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
+	"ftdag/internal/service"
 )
 
 func main() {
@@ -29,12 +36,19 @@ func main() {
 		maxWorkers = flag.Int("maxworkers", 4, "maximum worker count per iteration")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-run hang watchdog")
 		verbose    = flag.Bool("v", false, "print every iteration")
+		useService = flag.Bool("service", false, "submit scenarios through the multi-job Server on one shared pool")
+		jobs       = flag.Int("jobs", 4, "concurrent jobs per batch in -service mode")
 	)
 	flag.Parse()
 
 	fmt.Printf("ftsoak: seed=%d duration=%v\n", *seed, *duration)
 	rng := rand.New(rand.NewSource(*seed))
 	deadline := time.Now().Add(*duration)
+
+	if *useService {
+		soakService(rng, deadline, *maxWorkers, *jobs, *timeout, *verbose)
+		return
+	}
 
 	var iters, faultsInjected, recoveries int64
 	for time.Now().Before(deadline) {
@@ -84,6 +98,89 @@ func main() {
 	}
 	fmt.Printf("ftsoak: PASS — %d iterations, %d faults injected, %d recoveries, 0 divergences\n",
 		iters, faultsInjected, recoveries)
+}
+
+// soakService drives random graph × fault-storm scenarios through the
+// multi-job execution service in concurrent batches: every job gets its own
+// Recorder spec and is verified task-by-task against a sequential ground
+// truth, so any cross-job interference on the shared pool (a Theorem 1
+// violation under multi-tenancy) is caught immediately.
+func soakService(rng *rand.Rand, deadline time.Time, workers, batch int, timeout time.Duration, verbose bool) {
+	srv := service.New(service.Config{
+		Workers:           workers,
+		MaxConcurrentJobs: batch,
+		MaxQueuedJobs:     2 * batch,
+	})
+	var batches, jobsRun, faultsInjected, recoveries int64
+	for time.Now().Before(deadline) {
+		batches++
+		type pending struct {
+			gseed uint64
+			plan  *fault.Plan
+			rec   *core.Recorder
+			want  map[graph.Key][]float64
+			h     *service.Handle
+		}
+		ps := make([]*pending, 0, batch)
+		for i := 0; i < batch; i++ {
+			gseed := rng.Uint64() | 1
+			layers := 2 + rng.Intn(6)
+			width := 2 + rng.Intn(8)
+			maxIn := 1 + rng.Intn(3)
+			g := graph.Layered(layers, width, maxIn, gseed, nil)
+
+			rec0 := core.NewRecorder(g)
+			if _, err := core.NewSequential(rec0, 0).Run(); err != nil {
+				fail(gseed, nil, fmt.Errorf("sequential: %w", err))
+			}
+			want := rec0.Outputs()
+
+			plan := fault.NewPlan()
+			points := []fault.Point{fault.BeforeCompute, fault.AfterCompute, fault.AfterNotify}
+			n := rng.Intn(layers * width / 2)
+			for _, k := range fault.SelectTasks(g, fault.AnyTask, n, rng.Int63()) {
+				plan.Add(k, points[rng.Intn(3)], 1+rng.Intn(3))
+			}
+
+			p := &pending{gseed: gseed, plan: plan, rec: core.NewRecorder(g), want: want}
+			h, err := srv.Submit(service.JobSpec{
+				Name:            fmt.Sprintf("soak-%d", gseed),
+				Spec:            p.rec,
+				Plan:            plan,
+				VerifyChecksums: true,
+				Deadline:        timeout,
+				Verify: func(res *core.Result) error {
+					if d := p.rec.Diff(p.want); d != "" {
+						return fmt.Errorf("output divergence: %s", d)
+					}
+					return nil
+				},
+			})
+			if err != nil {
+				fail(gseed, plan, fmt.Errorf("submit: %w", err))
+			}
+			p.h = h
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			res, err := p.h.Wait()
+			if err != nil {
+				fail(p.gseed, p.plan, err)
+			}
+			jobsRun++
+			faultsInjected += res.Metrics.InjectionsFired
+			recoveries += res.Metrics.Recoveries
+			if verbose {
+				fmt.Printf("batch %d job %d: seed=%d faults=%d recoveries=%d reexec=%d OK\n",
+					batches, p.h.ID(), p.gseed,
+					res.Metrics.InjectionsFired, res.Metrics.Recoveries, res.ReexecutedTasks)
+			}
+		}
+	}
+	stats := srv.Close()
+	fmt.Printf("ftsoak: PASS (service) — %d batches, %d jobs, %d faults injected, %d recoveries, 0 divergences\n",
+		batches, jobsRun, faultsInjected, recoveries)
+	fmt.Printf("ftsoak: shared pool: %v\n", stats)
 }
 
 func fail(gseed uint64, plan *fault.Plan, err error) {

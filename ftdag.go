@@ -36,6 +36,7 @@ import (
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
+	"ftdag/internal/service"
 )
 
 // Core model types. See the internal/graph package for full documentation.
@@ -106,6 +107,36 @@ const (
 	Completed = core.Completed
 )
 
+// Multi-job execution service types. See the internal/service package.
+// A Service owns one long-lived work-stealing pool and multiplexes many
+// concurrent task-graph jobs onto it, with bounded admission, per-job
+// deadlines/cancellation, fault plans, and retrievable metrics/traces.
+type (
+	// Service is a long-lived multi-job execution server.
+	Service = service.Server
+	// ServiceConfig sizes a Service (workers, queue bound, concurrency).
+	ServiceConfig = service.Config
+	// JobSpec describes one job submitted to a Service.
+	JobSpec = service.JobSpec
+	// JobHandle is the caller's reference to a submitted job.
+	JobHandle = service.Handle
+	// JobStatus is a point-in-time job snapshot.
+	JobStatus = service.Status
+	// JobState is a job's lifecycle state.
+	JobState = service.State
+	// ServiceSnapshot aggregates a Service's observability counters.
+	ServiceSnapshot = service.Snapshot
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = service.Queued
+	JobRunning   = service.Running
+	JobSucceeded = service.Succeeded
+	JobFailed    = service.Failed
+	JobCancelled = service.Cancelled
+)
+
 // Sentinel errors.
 var (
 	// ErrHung reports quiescence without sink completion.
@@ -114,7 +145,18 @@ var (
 	ErrTimeout = core.ErrTimeout
 	// ErrCancelled reports that Config.Cancel fired mid-run.
 	ErrCancelled = core.ErrCancelled
+	// ErrQueueFull reports that a Service's admission queue is at capacity.
+	ErrQueueFull = service.ErrQueueFull
+	// ErrServiceClosed reports a Submit after Service.Close.
+	ErrServiceClosed = service.ErrClosed
+	// ErrDeadlineExceeded reports that a job's deadline expired.
+	ErrDeadlineExceeded = service.ErrDeadlineExceeded
 )
+
+// NewService starts a multi-job execution service: one shared work-stealing
+// pool serving every submitted job, with admission control and per-job
+// isolation (cancellation and faults stay local to the job).
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Run executes the task graph with the fault-tolerant work-stealing
 // scheduler (Figures 2–3 of the paper) and returns the run's result.

@@ -146,3 +146,45 @@ func (*twoVersions) Compute(ctx ftdag.Context, k ftdag.Key) error {
 	ctx.Write([]float64{in[0] + 1})
 	return nil
 }
+
+// TestPublicService exercises the multi-job service facade: several jobs
+// (some with fault plans) share one pool, all results match the fault-free
+// diamond, and the admission/lifecycle API behaves as documented.
+func TestPublicService(t *testing.T) {
+	s := ftdag.NewService(ftdag.ServiceConfig{Workers: 2, MaxConcurrentJobs: 2, MaxQueuedJobs: 8})
+	var handles []*ftdag.JobHandle
+	for i := 0; i < 4; i++ {
+		g := diamond()
+		spec := ftdag.JobSpec{Name: "diamond", Spec: g}
+		if i%2 == 1 {
+			spec.Plan = ftdag.NewPlan().Add(1, ftdag.AfterCompute, 1)
+		}
+		h, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for i, h := range handles {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if len(res.Sink) != 1 || res.Sink[0] != 5 {
+			t.Fatalf("job %d sink = %v, want [5]", i, res.Sink)
+		}
+		if i%2 == 1 && res.Metrics.Recoveries == 0 {
+			t.Errorf("faulted job %d recorded no recoveries", i)
+		}
+		if st := h.Status(); st.State != ftdag.JobSucceeded {
+			t.Errorf("job %d state = %v", i, st.State)
+		}
+	}
+	if snap := s.Snapshot(); snap.Succeeded != 4 {
+		t.Errorf("snapshot succeeded = %d, want 4", snap.Succeeded)
+	}
+	s.Close()
+	if _, err := s.Submit(ftdag.JobSpec{Spec: diamond()}); !errors.Is(err, ftdag.ErrServiceClosed) {
+		t.Errorf("submit after close = %v, want ErrServiceClosed", err)
+	}
+}

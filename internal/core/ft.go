@@ -82,6 +82,7 @@ type FT struct {
 	tasks *cmap.Map[*Task]        // the paper's concurrent hash map of descriptors
 	rec   *cmap.Map[*atomicInt64] // the recovery table R: key → last life recovered
 	met   metrics
+	group *sched.Group // this run's slice of the pool (set by RunOn)
 }
 
 type atomicInt64 struct{ v int64 } // accessed only via sync/atomic through rec
@@ -110,30 +111,56 @@ func (e *FT) TaskStatus(key graph.Key) (Status, bool) {
 	return t.Status(), true
 }
 
-// Run executes the task graph to completion and returns the result.
+// Run executes the task graph to completion on a private pool of
+// cfg.Workers workers and returns the result.
 func (e *FT) Run() (*Result, error) {
-	start := time.Now()
 	pool := sched.NewPoolWithPolicy(e.cfg.workers(), e.cfg.SchedPolicy)
+	res, err := e.RunOn(pool)
+	if err != nil && errors.Is(err, ErrTimeout) {
+		// Workers may be stuck inside a hung user compute; closing would
+		// block forever. Leak the pool, as the watchdog contract always did.
+		return res, err
+	}
+	stats := pool.Close()
+	if res != nil {
+		res.Sched = stats
+	}
+	return res, err
+}
+
+// RunOn executes the task graph on a caller-owned pool, which may be shared
+// with other concurrent executions. The run schedules all of its work
+// through a private sched.Group, so Config.Cancel and Config.Timeout abort
+// only this execution — the pool stays healthy and reusable. The caller
+// keeps responsibility for closing the pool; Result.Sched is left zero here
+// because a shared pool's counters are not attributable to one run (Run
+// fills it for the single-run case).
+func (e *FT) RunOn(pool *sched.Pool) (*Result, error) {
+	start := time.Now()
+	g := pool.NewGroup()
+	e.group = g
 	sink, _ := e.insertIfAbsent(e.spec.Sink())
-	pool.Submit(func(w *sched.Worker) { e.initAndCompute(w, sink) })
+	g.Submit(func(w *sched.Worker) { e.initAndCompute(w, sink) })
 	if e.cfg.Cancel != nil {
 		cancelDone := make(chan struct{})
 		defer close(cancelDone)
 		go func() {
 			select {
 			case <-e.cfg.Cancel:
-				pool.Abort()
+				g.Abort()
 			case <-cancelDone:
 			}
 		}()
 	}
 	if e.cfg.Timeout > 0 {
-		if !pool.WaitTimeout(e.cfg.Timeout) {
+		if !g.WaitTimeout(e.cfg.Timeout) {
+			g.Abort() // stop scheduling further traversal work
 			return nil, fmt.Errorf("%w after %v\n%s", ErrTimeout, e.cfg.Timeout, e.DumpStuck(16))
 		}
+	} else {
+		g.Wait()
 	}
-	stats := pool.Close()
-	if pool.Aborted() {
+	if g.Aborted() {
 		return nil, ErrCancelled
 	}
 	elapsed := time.Since(start)
@@ -146,7 +173,6 @@ func (e *FT) Run() (*Result, error) {
 		Elapsed: elapsed,
 		Tasks:   e.tasks.Len(),
 		Metrics: e.met.snapshot(),
-		Sched:   stats,
 		Store:   e.store.Stats(),
 	}
 	res.ReexecutedTasks = res.Metrics.Computes - int64(res.Tasks)
@@ -161,6 +187,18 @@ func (e *FT) Run() (*Result, error) {
 	}
 	res.Sink = data
 	return res, nil
+}
+
+// spawn schedules f as part of this run's group, so that per-run abort and
+// quiescence see exactly this run's work even on a shared pool. Outside a
+// RunOn execution (unit tests drive the routines directly on a bare worker)
+// there is no group and the spawn goes straight to the worker.
+func (e *FT) spawn(w *sched.Worker, f sched.Func) {
+	if e.group != nil {
+		e.group.Spawn(w, f)
+		return
+	}
+	w.Spawn(f)
 }
 
 // newTask builds a fresh incarnation descriptor.
@@ -184,7 +222,7 @@ func (e *FT) insertIfAbsent(key graph.Key) (*Task, bool) {
 func (e *FT) initAndCompute(w *sched.Worker, t *Task) {
 	for _, pkey := range t.preds {
 		pk := pkey
-		w.Spawn(func(w *sched.Worker) { e.tryInitCompute(w, t, pk) })
+		e.spawn(w, func(w *sched.Worker) { e.tryInitCompute(w, t, pk) })
 	}
 	e.notifyOnce(w, t, t.key)
 }
@@ -197,7 +235,7 @@ func (e *FT) initAndCompute(w *sched.Worker, t *Task) {
 func (e *FT) tryInitCompute(w *sched.Worker, t *Task, pkey graph.Key) {
 	b, inserted := e.insertIfAbsent(pkey)
 	if inserted {
-		w.Spawn(func(w *sched.Worker) { e.initAndCompute(w, b) })
+		e.spawn(w, func(w *sched.Worker) { e.initAndCompute(w, b) })
 	}
 	err := func() error { // try
 		if err := b.check(); err != nil {
@@ -311,7 +349,7 @@ func (e *FT) computeAndNotify(w *sched.Worker, t *Task) {
 			notified += len(batch)
 			for _, skey := range batch {
 				sk := skey
-				w.Spawn(func(w *sched.Worker) { e.notifySuccessor(w, t.key, sk) })
+				e.spawn(w, func(w *sched.Worker) { e.notifySuccessor(w, t.key, sk) })
 			}
 		}
 		if e.plan.Fire(t.key, t.life, fault.AfterNotify) {
@@ -422,7 +460,7 @@ func (e *FT) recoverTask(w *sched.Worker, key graph.Key) {
 					return err
 				}
 			}
-			w.Spawn(func(w *sched.Worker) { e.initAndCompute(w, t) })
+			e.spawn(w, func(w *sched.Worker) { e.initAndCompute(w, t) })
 			return nil
 		}()
 		if err == nil {

@@ -41,6 +41,17 @@ var makers = map[string]apps.Maker{
 	"Cholesky": chol.New,
 }
 
+// MakeApp constructs the named benchmark app with the given configuration.
+// Exported for callers outside the harness's scenario flow — the multi-job
+// service tests and the ftserve daemon build per-job app instances directly.
+func MakeApp(name string, cfg apps.Config) (apps.App, error) {
+	mk, ok := makers[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown app %q (have %v)", name, AppNames)
+	}
+	return mk(cfg)
+}
+
 // Sizes holds one problem configuration per benchmark.
 type Sizes map[string]apps.Config
 

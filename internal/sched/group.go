@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Group tracks one logical job's work on a shared Pool: a subset of the
+// pool's jobs with its own pending count, quiescence condition, and abort
+// flag. It is what lets a long-lived pool serve many concurrent task-graph
+// executions — each execution waits on (and cancels) only its own group,
+// while Pool.Wait/Pool.Abort retain their whole-pool semantics.
+//
+// Every function routed through Submit/Spawn is wrapped so that (a) an
+// aborted group's queued work becomes a no-op instead of being discarded —
+// the pool's pending count still drains normally, so other groups' progress
+// and the pool's own quiescence are unaffected — and (b) the group reaches
+// its own quiescence exactly when its last wrapped function (and everything
+// transitively spawned from it through the group) has finished.
+type Group struct {
+	pool    *Pool
+	pending atomic.Int64
+	aborted atomic.Bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// NewGroup returns an empty group on the pool. An empty group is quiescent.
+func (p *Pool) NewGroup() *Group {
+	g := &Group{pool: p}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Pool returns the pool the group schedules onto.
+func (g *Group) Pool() *Pool { return g.pool }
+
+// wrap ties f's execution to the group: skipped after abort, counted toward
+// the group's quiescence either way.
+func (g *Group) wrap(f Func) Func {
+	return func(w *Worker) {
+		if !g.aborted.Load() {
+			f(w)
+		}
+		if g.pending.Add(-1) == 0 {
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		}
+	}
+}
+
+// Submit schedules f from outside the pool as part of this group.
+func (g *Group) Submit(f Func) {
+	g.pending.Add(1)
+	g.pool.Submit(g.wrap(f))
+}
+
+// Spawn schedules f from a job running on w as part of this group. Like
+// Worker.Spawn it must be called from a job executing on w; f lands on w's
+// own deque (or the shared queue under the central-queue policy).
+func (g *Group) Spawn(w *Worker, f Func) {
+	g.pending.Add(1)
+	w.Spawn(g.wrap(f))
+}
+
+// Pending returns the group's outstanding job count (scheduled but not yet
+// finished or skipped).
+func (g *Group) Pending() int64 { return g.pending.Load() }
+
+// Abort cancels the group cooperatively: functions of this group that have
+// not started yet run as no-ops, currently running ones finish normally, and
+// Wait returns. Other groups and the pool itself are untouched. The group
+// must not be reused afterwards.
+func (g *Group) Abort() {
+	g.aborted.Store(true)
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Aborted reports whether Abort was called.
+func (g *Group) Aborted() bool { return g.aborted.Load() }
+
+// Wait blocks until every function submitted or spawned through the group
+// has finished, or until the group is aborted.
+func (g *Group) Wait() {
+	if g.pending.Load() == 0 {
+		return
+	}
+	g.mu.Lock()
+	for g.pending.Load() != 0 && !g.aborted.Load() {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// WaitTimeout is Wait with a deadline; it reports whether the group reached
+// quiescence (or abort) in time.
+func (g *Group) WaitTimeout(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	done := make(chan struct{})
+	go func() {
+		g.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Until(deadline)):
+		return false
+	}
+}

@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const groupTestTimeout = 30 * time.Second
+
+// TestGroupIsolatedQuiescence: two groups on one pool reach quiescence
+// independently — each Wait sees exactly its own spawn tree.
+func TestGroupIsolatedQuiescence(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+
+	var fast, slow atomic.Int64
+	slowGate := make(chan struct{})
+
+	gSlow := pool.NewGroup()
+	gSlow.Submit(func(w *Worker) {
+		<-slowGate
+		slow.Add(1)
+	})
+	gFast := pool.NewGroup()
+	for i := 0; i < 8; i++ {
+		gFast.Submit(func(w *Worker) {
+			gFast.Spawn(w, func(w *Worker) { fast.Add(1) })
+			fast.Add(1)
+		})
+	}
+	if !gFast.WaitTimeout(groupTestTimeout) {
+		t.Fatal("fast group did not quiesce while slow group was blocked")
+	}
+	if got := fast.Load(); got != 16 {
+		t.Fatalf("fast group ran %d jobs, want 16", got)
+	}
+	if slow.Load() != 0 {
+		t.Fatal("slow group ran before its gate opened")
+	}
+	close(slowGate)
+	if !gSlow.WaitTimeout(groupTestTimeout) {
+		t.Fatal("slow group did not quiesce")
+	}
+	if got := slow.Load(); got != 1 {
+		t.Fatalf("slow group ran %d jobs, want 1", got)
+	}
+}
+
+// TestGroupAbortIsLocalized: aborting one group skips its queued work but
+// leaves the other group (and the pool's own quiescence) intact.
+func TestGroupAbortIsLocalized(t *testing.T) {
+	pool := NewPool(2)
+	var aborted, survivor atomic.Int64
+
+	gA := pool.NewGroup()
+	gB := pool.NewGroup()
+	gate := make(chan struct{})
+	gA.Submit(func(w *Worker) {
+		for i := 0; i < 64; i++ {
+			gA.Spawn(w, func(w *Worker) { aborted.Add(1) })
+		}
+		<-gate // hold the worker so the spawns sit in the deque
+	})
+	for i := 0; i < 32; i++ {
+		gB.Submit(func(w *Worker) { survivor.Add(1) })
+	}
+	gA.Abort()
+	close(gate)
+	if !gB.WaitTimeout(groupTestTimeout) {
+		t.Fatal("survivor group did not quiesce after sibling abort")
+	}
+	if got := survivor.Load(); got != 32 {
+		t.Fatalf("survivor group ran %d jobs, want 32", got)
+	}
+	// The pool itself must still drain: aborted-group functions no-op but
+	// are still accounted, so Close must not hang.
+	done := make(chan Stats, 1)
+	go func() { done <- pool.Close() }()
+	select {
+	case <-done:
+	case <-time.After(groupTestTimeout):
+		t.Fatal("pool did not drain after group abort")
+	}
+	if !gA.Aborted() {
+		t.Fatal("Aborted() = false after Abort")
+	}
+}
+
+// TestPoolReuseAcrossJobs is the pattern the multi-job service depends on:
+// one pool serving many consecutive (and concurrent) Submit+Wait cycles
+// without teardown, with stats accumulating monotonically.
+func TestPoolReuseAcrossJobs(t *testing.T) {
+	pool := NewPool(3)
+	var total atomic.Int64
+	for cycle := 0; cycle < 50; cycle++ {
+		g := pool.NewGroup()
+		for i := 0; i < 10; i++ {
+			g.Submit(func(w *Worker) {
+				g.Spawn(w, func(w *Worker) { total.Add(1) })
+			})
+		}
+		if !g.WaitTimeout(groupTestTimeout) {
+			t.Fatalf("cycle %d did not quiesce", cycle)
+		}
+		if g.Pending() != 0 {
+			t.Fatalf("cycle %d: pending = %d after Wait", cycle, g.Pending())
+		}
+	}
+	if got := total.Load(); got != 500 {
+		t.Fatalf("ran %d spawned jobs across cycles, want 500", got)
+	}
+	snap := pool.StatsSnapshot()
+	if snap.Jobs < 1000 {
+		t.Fatalf("snapshot jobs = %d, want >= 1000", snap.Jobs)
+	}
+	if final := pool.Close(); final.Jobs < snap.Jobs {
+		t.Fatalf("Close jobs %d < snapshot jobs %d", final.Jobs, snap.Jobs)
+	}
+}
+
+// TestPoolReuseSubmitWaitCycles exercises bare Pool.Submit+Wait reuse (no
+// groups), the minimal long-lived-pool contract.
+func TestPoolReuseSubmitWaitCycles(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	var n atomic.Int64
+	for cycle := 0; cycle < 100; cycle++ {
+		pool.Submit(func(w *Worker) { n.Add(1) })
+		pool.Wait()
+		if got := n.Load(); got != int64(cycle+1) {
+			t.Fatalf("after cycle %d: ran %d jobs", cycle, got)
+		}
+	}
+}
+
+// TestAbortRacesSubmitAndSpawn hammers Abort against concurrent external
+// Submits and in-pool Spawns: no deadlock, no panic, and Wait returns
+// promptly regardless of who wins the race.
+func TestAbortRacesSubmitAndSpawn(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		pool := NewPool(4)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		// Submitters race the abort from outside.
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					pool.Submit(func(w *Worker) {
+						// Spawners race the abort from inside.
+						w.Spawn(func(w *Worker) {})
+					})
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%4) * 100 * time.Microsecond)
+		pool.Abort()
+		waited := make(chan struct{})
+		go func() { pool.Wait(); close(waited) }()
+		select {
+		case <-waited:
+		case <-time.After(groupTestTimeout):
+			t.Fatal("Wait hung after Abort racing Submit/Spawn")
+		}
+		close(stop)
+		wg.Wait()
+		if !pool.Aborted() {
+			t.Fatal("pool not marked aborted")
+		}
+	}
+}
+
+// TestGroupAbortRacesSpawn: aborting a group mid-fan-out never hangs the
+// group or the pool, and never executes work after Wait has observed the
+// abort and the group has drained.
+func TestGroupAbortRacesSpawn(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		pool := NewPool(4)
+		g := pool.NewGroup()
+		var executed atomic.Int64
+		g.Submit(func(w *Worker) {
+			var rec func(w *Worker, depth int)
+			rec = func(w *Worker, depth int) {
+				executed.Add(1)
+				if depth == 0 {
+					return
+				}
+				for i := 0; i < 3; i++ {
+					g.Spawn(w, func(w *Worker) { rec(w, depth-1) })
+				}
+			}
+			rec(w, 6)
+		})
+		time.Sleep(time.Duration(round%3) * 50 * time.Microsecond)
+		g.Abort()
+		g.Wait()
+		done := make(chan Stats, 1)
+		go func() { done <- pool.Close() }()
+		select {
+		case <-done:
+		case <-time.After(groupTestTimeout):
+			t.Fatal("pool close hung after group abort race")
+		}
+	}
+}
+
+// TestStatsSnapshotConcurrent reads pool statistics while workers are busy;
+// run under -race this verifies snapshotting a live pool is safe.
+func TestStatsSnapshotConcurrent(t *testing.T) {
+	pool := NewPool(4)
+	g := pool.NewGroup()
+	for i := 0; i < 200; i++ {
+		g.Submit(func(w *Worker) {
+			g.Spawn(w, func(w *Worker) {})
+		})
+	}
+	for i := 0; i < 50; i++ {
+		_ = pool.StatsSnapshot()
+	}
+	g.Wait()
+	if s := pool.Close(); s.Jobs < 400 {
+		t.Fatalf("jobs = %d, want >= 400", s.Jobs)
+	}
+}

@@ -63,13 +63,27 @@ func (p Policy) String() string {
 	}
 }
 
+// counters are one worker's scheduler statistics. They are atomics (rather
+// than plain fields owned by the worker goroutine) so that a long-lived pool
+// can be observed mid-run via StatsSnapshot without a data race; each worker
+// writes only its own cache line, so the hot-path cost is an uncontended
+// atomic add.
+type counters struct {
+	jobs         atomic.Int64
+	spawns       atomic.Int64
+	steals       atomic.Int64
+	failedSteals atomic.Int64
+	injectorHits atomic.Int64
+	idleNanos    atomic.Int64
+}
+
 // Worker is one scheduling thread of a Pool.
 type Worker struct {
 	pool  *Pool
 	id    int
 	dq    *deque.Deque[Func]
 	rng   uint64
-	stats Stats
+	stats counters
 }
 
 // ID returns the worker's index in [0, P).
@@ -84,7 +98,7 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // called from a job running on w.
 func (w *Worker) Spawn(f Func) {
 	w.pool.pending.Add(1)
-	w.stats.Spawns++
+	w.stats.spawns.Add(1)
 	if w.pool.policy == CentralQueue {
 		w.pool.injMu.Lock()
 		w.pool.inj = append(w.pool.inj, &f)
@@ -205,14 +219,21 @@ func (p *Pool) Close() Stats {
 	p.Wait()
 	p.stop.Store(true)
 	p.wg.Wait()
+	return p.StatsSnapshot()
+}
+
+// StatsSnapshot aggregates the workers' counters without stopping the pool.
+// Safe to call concurrently with running work; used by long-lived pools
+// (service observability endpoints) where Close is not an option.
+func (p *Pool) StatsSnapshot() Stats {
 	var s Stats
 	for _, w := range p.workers {
-		s.Jobs += w.stats.Jobs
-		s.Spawns += w.stats.Spawns
-		s.Steals += w.stats.Steals
-		s.FailedSteals += w.stats.FailedSteals
-		s.InjectorHits += w.stats.InjectorHits
-		s.IdleTime += w.stats.IdleTime
+		s.Jobs += w.stats.jobs.Load()
+		s.Spawns += w.stats.spawns.Load()
+		s.Steals += w.stats.steals.Load()
+		s.FailedSteals += w.stats.failedSteals.Load()
+		s.InjectorHits += w.stats.injectorHits.Load()
+		s.IdleTime += time.Duration(w.stats.idleNanos.Load())
 	}
 	return s
 }
@@ -247,7 +268,7 @@ func (w *Worker) run() {
 			} else {
 				time.Sleep(backoff)
 			}
-			w.stats.IdleTime += time.Since(start)
+			w.stats.idleNanos.Add(int64(time.Since(start)))
 			if backoff < maxBackoff {
 				backoff *= 2
 			}
@@ -260,7 +281,7 @@ func (w *Worker) run() {
 			w.pool.quiesceCond.Broadcast()
 			w.pool.quiesceMu.Unlock()
 		}
-		w.stats.Jobs++
+		w.stats.jobs.Add(1)
 	}
 }
 
@@ -275,7 +296,7 @@ func (w *Worker) findWork() *Func {
 			p.inj = p.inj[:n-1]
 			p.injLen.Store(int64(len(p.inj)))
 			p.injMu.Unlock()
-			w.stats.InjectorHits++
+			w.stats.injectorHits.Add(1)
 			return j
 		}
 		p.injMu.Unlock()
@@ -292,10 +313,10 @@ func (w *Worker) findWork() *Func {
 			continue
 		}
 		if j := victim.dq.Steal(); j != nil {
-			w.stats.Steals++
+			w.stats.steals.Add(1)
 			return j
 		}
-		w.stats.FailedSteals++
+		w.stats.failedSteals.Add(1)
 	}
 	return nil
 }

@@ -1,0 +1,493 @@
+// Package service turns the one-shot fault-tolerant executor into a
+// long-lived multi-job execution service: one Server owns one shared
+// work-stealing pool (internal/sched) and multiplexes many concurrent
+// task-graph jobs onto it.
+//
+// Each submitted job runs through its own sched.Group, so per-job
+// cancellation, deadlines, and quiescence never disturb the pool or the
+// other jobs — the service-level analogue of the paper's localized recovery:
+// a misbehaving or cancelled job stays local while the rest of the system
+// keeps serving work. Admission control is a bounded queue (Submit rejects
+// with ErrQueueFull when full) drained by a fixed number of runner
+// goroutines (the max-concurrent-jobs bound). Per-job executor metrics and
+// trace logs remain retrievable from the job's Handle after completion, and
+// Snapshot aggregates scheduler stats, recovery counters, and queue depths
+// for observability endpoints (cmd/ftserve).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/sched"
+	"ftdag/internal/trace"
+)
+
+// Sentinel errors returned by Submit and job completion.
+var (
+	// ErrQueueFull reports that the admission queue is at capacity.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrClosed reports a Submit after Close.
+	ErrClosed = errors.New("service: server closed")
+	// ErrDeadlineExceeded reports that a job's per-job deadline expired
+	// before it completed; the job was aborted.
+	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
+)
+
+// State is a job's lifecycle state.
+type State int
+
+const (
+	// Queued: admitted, waiting for a concurrency slot.
+	Queued State = iota
+	// Running: executing on the shared pool.
+	Running
+	// Succeeded: completed; the Result is available.
+	Succeeded
+	// Failed: the executor (or the job's Verify callback) returned an
+	// error other than cancellation.
+	Failed
+	// Cancelled: aborted by Cancel, a deadline, or server Close.
+	Cancelled
+)
+
+var stateNames = [...]string{
+	Queued:    "queued",
+	Running:   "running",
+	Succeeded: "succeeded",
+	Failed:    "failed",
+	Cancelled: "cancelled",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// MarshalJSON encodes the state as its lowercase name.
+func (s State) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Succeeded || s == Failed || s == Cancelled }
+
+// JobSpec describes one task-graph job.
+type JobSpec struct {
+	// Name labels the job in statuses and logs (free-form).
+	Name string
+	// Spec is the task graph to execute (required).
+	Spec graph.Spec
+	// Retention is the block store's version retention K (see
+	// core.Config.Retention).
+	Retention int
+	// Plan is the job's fault-injection plan (nil: no faults).
+	Plan *fault.Plan
+	// VerifyChecksums validates block checksums on every read.
+	VerifyChecksums bool
+	// Deadline bounds the job's execution time (queue wait excluded);
+	// 0 means no deadline. An expired deadline aborts only this job.
+	Deadline time.Duration
+	// TraceCapacity, when > 0, attaches a trace.Log of that capacity to
+	// the run; it stays retrievable from the Handle after completion.
+	TraceCapacity int
+	// Verify, when non-nil, is called with the result of a successful
+	// run; a non-nil error marks the job Failed. It runs on the job's
+	// runner goroutine.
+	Verify func(*core.Result) error
+}
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the shared pool's size (default: GOMAXPROCS).
+	Workers int
+	// MaxQueuedJobs bounds the admission queue (default 64). A Submit
+	// finding the queue full fails with ErrQueueFull.
+	MaxQueuedJobs int
+	// MaxConcurrentJobs bounds the number of jobs executing at once
+	// (default 4); admitted jobs beyond it wait in the queue.
+	MaxConcurrentJobs int
+	// SchedPolicy selects the pool's scheduling discipline.
+	SchedPolicy sched.Policy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueuedJobs < 1 {
+		c.MaxQueuedJobs = 64
+	}
+	if c.MaxConcurrentJobs < 1 {
+		c.MaxConcurrentJobs = 4
+	}
+	return c
+}
+
+// job is the server-internal job record.
+type job struct {
+	id        int64
+	spec      JobSpec
+	submitted time.Time
+	trace     *trace.Log
+	cancel    chan struct{}
+	cancelled sync.Once
+	done      chan struct{}
+
+	mu          sync.Mutex
+	state       State
+	started     time.Time
+	finished    time.Time
+	res         *core.Result
+	err         error
+	deadlineHit bool
+}
+
+// cancelNow closes the job's cancel channel at most once.
+func (j *job) cancelNow() { j.cancelled.Do(func() { close(j.cancel) }) }
+
+// Server is a multi-job execution service over one shared pool.
+type Server struct {
+	cfg   Config
+	pool  *sched.Pool
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[int64]*job
+	order    []int64 // submission order, for listings
+	rejected int64
+}
+
+// New starts a server: one pool of cfg.Workers workers plus
+// cfg.MaxConcurrentJobs runner goroutines draining the admission queue.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  sched.NewPoolWithPolicy(cfg.Workers, cfg.SchedPolicy),
+		queue: make(chan *job, cfg.MaxQueuedJobs),
+		jobs:  make(map[int64]*job),
+	}
+	s.wg.Add(cfg.MaxConcurrentJobs)
+	for i := 0; i < cfg.MaxConcurrentJobs; i++ {
+		go s.runner()
+	}
+	return s
+}
+
+// Config returns the effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Submit admits a job into the queue and returns its handle, or
+// ErrQueueFull / ErrClosed without side effects when admission fails.
+func (s *Server) Submit(spec JobSpec) (*Handle, error) {
+	if spec.Spec == nil {
+		return nil, errors.New("service: JobSpec.Spec is required")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	j := &job{
+		spec:      spec,
+		submitted: time.Now(),
+		cancel:    make(chan struct{}),
+		done:      make(chan struct{}),
+		state:     Queued,
+	}
+	if spec.TraceCapacity > 0 {
+		j.trace = trace.New(spec.TraceCapacity)
+	}
+	select {
+	case s.queue <- j:
+		s.nextID++
+		j.id = s.nextID
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		return &Handle{j: j}, nil
+	default:
+		s.rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.queue))
+	}
+}
+
+// runner executes queued jobs one at a time; MaxConcurrentJobs runners give
+// the concurrency bound. Range drains the queue even after Close, so queued
+// jobs still reach a terminal (Cancelled) state.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	select {
+	case <-j.cancel:
+		s.finish(j, nil, core.ErrCancelled)
+		return
+	default:
+	}
+	j.mu.Lock()
+	j.state = Running
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	var timer *time.Timer
+	if d := j.spec.Deadline; d > 0 {
+		timer = time.AfterFunc(d, func() {
+			j.mu.Lock()
+			j.deadlineHit = true
+			j.mu.Unlock()
+			j.cancelNow()
+		})
+	}
+	exec := core.NewFT(j.spec.Spec, core.Config{
+		Retention:       j.spec.Retention,
+		Plan:            j.spec.Plan,
+		VerifyChecksums: j.spec.VerifyChecksums,
+		Cancel:          j.cancel,
+		Trace:           j.trace,
+	})
+	res, err := exec.RunOn(s.pool)
+	if timer != nil {
+		timer.Stop()
+	}
+	if err == nil && j.spec.Verify != nil {
+		if verr := j.spec.Verify(res); verr != nil {
+			err = fmt.Errorf("service: verification failed: %w", verr)
+		}
+	}
+	s.finish(j, res, err)
+}
+
+// finish moves the job to its terminal state and wakes waiters.
+func (s *Server) finish(j *job, res *core.Result, err error) {
+	state := Succeeded
+	j.mu.Lock()
+	if err != nil {
+		if errors.Is(err, core.ErrCancelled) {
+			state = Cancelled
+			if j.deadlineHit {
+				err = ErrDeadlineExceeded
+			}
+		} else {
+			state = Failed
+		}
+	}
+	j.state = state
+	j.res = res
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Job returns the handle of a previously submitted job.
+func (s *Server) Job(id int64) (*Handle, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return &Handle{j: j}, true
+}
+
+// Jobs returns the status of every job in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Close stops the server: no further admissions, queued and running jobs are
+// cancelled, runners drain, and the shared pool is shut down. It returns the
+// pool's lifetime scheduler statistics. Close is idempotent-hostile by
+// design (like Pool.Close): call it once.
+func (s *Server) Close() sched.Stats {
+	s.mu.Lock()
+	s.closed = true
+	close(s.queue)
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			j.cancelNow()
+		}
+	}
+	s.wg.Wait()
+	return s.pool.Close()
+}
+
+// Snapshot is a point-in-time view of the server for observability.
+type Snapshot struct {
+	Workers           int         `json:"workers"`
+	MaxConcurrentJobs int         `json:"max_concurrent_jobs"`
+	QueueDepth        int         `json:"queue_depth"`
+	QueueCapacity     int         `json:"queue_capacity"`
+	Queued            int         `json:"queued"`
+	Running           int         `json:"running"`
+	Succeeded         int         `json:"succeeded"`
+	Failed            int         `json:"failed"`
+	Cancelled         int         `json:"cancelled"`
+	Rejected          int64       `json:"rejected"`
+	Sched             sched.Stats `json:"sched"`
+	// Totals aggregates the executor metrics of every finished job.
+	Totals core.Metrics `json:"totals"`
+	// ReexecutedTasks sums the finished jobs' re-execution counts (the
+	// paper's Table II quantity, service-wide).
+	ReexecutedTasks int64 `json:"reexecuted_tasks"`
+}
+
+// Snapshot aggregates job states, queue depths, scheduler counters, and
+// recovery totals. Safe to call concurrently with running jobs.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	snap := Snapshot{
+		Workers:           s.cfg.Workers,
+		MaxConcurrentJobs: s.cfg.MaxConcurrentJobs,
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     cap(s.queue),
+		Rejected:          s.rejected,
+	}
+	s.mu.Unlock()
+	for _, j := range js {
+		j.mu.Lock()
+		switch j.state {
+		case Queued:
+			snap.Queued++
+		case Running:
+			snap.Running++
+		case Succeeded:
+			snap.Succeeded++
+		case Failed:
+			snap.Failed++
+		case Cancelled:
+			snap.Cancelled++
+		}
+		if j.res != nil {
+			addMetrics(&snap.Totals, j.res.Metrics)
+			snap.ReexecutedTasks += j.res.ReexecutedTasks
+		}
+		j.mu.Unlock()
+	}
+	snap.Sched = s.pool.StatsSnapshot()
+	return snap
+}
+
+// addMetrics accumulates b into a, field by field.
+func addMetrics(a *core.Metrics, b core.Metrics) {
+	a.Computes += b.Computes
+	a.ComputeErrors += b.ComputeErrors
+	a.Recoveries += b.Recoveries
+	a.Resets += b.Resets
+	a.Registrations += b.Registrations
+	a.ReinitEnqueues += b.ReinitEnqueues
+	a.Notifications += b.Notifications
+	a.InjectionsFired += b.InjectionsFired
+	a.OverwriteMarks += b.OverwriteMarks
+}
+
+// Status is an immutable snapshot of one job.
+type Status struct {
+	ID        int64     `json:"id"`
+	Name      string    `json:"name"`
+	State     State     `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	// Error is the terminal error message ("" on success or while the
+	// job is still queued/running).
+	Error string `json:"error,omitempty"`
+	// ElapsedMS is the execution time in milliseconds (0 until done).
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Tasks / ReexecutedTasks / Metrics come from the job's Result.
+	Tasks           int           `json:"tasks,omitempty"`
+	ReexecutedTasks int64         `json:"reexecuted_tasks,omitempty"`
+	Metrics         *core.Metrics `json:"metrics,omitempty"`
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		Name:      j.spec.Name,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.res != nil {
+		st.ElapsedMS = float64(j.res.Elapsed) / float64(time.Millisecond)
+		st.Tasks = j.res.Tasks
+		st.ReexecutedTasks = j.res.ReexecutedTasks
+		m := j.res.Metrics
+		st.Metrics = &m
+	}
+	return st
+}
+
+// Handle is the caller's reference to a submitted job.
+type Handle struct{ j *job }
+
+// ID returns the job's server-assigned id (1-based, in admission order).
+func (h *Handle) ID() int64 { return h.j.id }
+
+// Cancel aborts the job (queued or running); a no-op once terminal.
+// Cancellation is cooperative and localized: only this job's scheduled work
+// is skipped, the shared pool and all other jobs continue unaffected.
+func (h *Handle) Cancel() { h.j.cancelNow() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (h *Handle) Done() <-chan struct{} { return h.j.done }
+
+// Wait blocks until the job is terminal and returns its result and error.
+// The Result may be non-nil alongside an error (e.g. unreadable sink).
+func (h *Handle) Wait() (*core.Result, error) {
+	<-h.j.done
+	h.j.mu.Lock()
+	defer h.j.mu.Unlock()
+	return h.j.res, h.j.err
+}
+
+// Status returns the job's current status snapshot.
+func (h *Handle) Status() Status { return h.j.status() }
+
+// Trace returns the job's trace log (nil unless JobSpec.TraceCapacity > 0).
+// Valid during and after the run; snapshot-safe for concurrent use.
+func (h *Handle) Trace() *trace.Log { return h.j.trace }

@@ -101,3 +101,12 @@ func Speedup(t1, tp float64) float64 {
 	}
 	return t1 / tp
 }
+
+// Rate returns n completions per second of elapsed wall-clock time (0 for a
+// non-positive elapsed) — the multi-job service's throughput metric.
+func Rate(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}

@@ -106,3 +106,18 @@ func TestQuickSummaryInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRate(t *testing.T) {
+	if got := Rate(10, 2*time.Second); got != 5 {
+		t.Errorf("Rate(10, 2s) = %v, want 5", got)
+	}
+	if got := Rate(3, 0); got != 0 {
+		t.Errorf("Rate(3, 0) = %v, want 0", got)
+	}
+	if got := Rate(0, time.Second); got != 0 {
+		t.Errorf("Rate(0, 1s) = %v, want 0", got)
+	}
+	if got := Rate(7, -time.Second); got != 0 {
+		t.Errorf("Rate with negative elapsed = %v, want 0", got)
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// object form understood by about:tracing and Perfetto).
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"` // microseconds since log creation
+	Dur  float64          `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int64            `json:"tid"`
+	S    string           `json:"s,omitempty"` // instant scope
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteJSON emits the retained events in Chrome trace-event format, so a
+// job's lifecycle can be opened in about:tracing or Perfetto. Each task key
+// is rendered as one thread row (tid = key). A ComputeStart paired with the
+// next ComputeDone or ComputeFault of the same (task, life) becomes a
+// complete duration event ("X"); every other retained event (and an
+// unpaired start, possible when the ring overwrote its partner) becomes an
+// instant event ("i") carrying key/life/arg/seq in its args. Safe for
+// concurrent use with Emit; a nil log writes an empty trace.
+func (l *Log) WriteJSON(w io.Writer) error {
+	events := l.Snapshot()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	type openKey struct {
+		key  int64
+		life int
+	}
+	open := make(map[openKey]Event)
+	instant := func(e Event) chromeEvent {
+		return chromeEvent{
+			Name: e.Kind.String(),
+			Ph:   "i",
+			Ts:   float64(e.When.Microseconds()),
+			Pid:  1,
+			Tid:  e.Key,
+			S:    "t",
+			Args: map[string]int64{"key": e.Key, "life": int64(e.Life), "arg": e.Arg, "seq": int64(e.Seq)},
+		}
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case ComputeStart:
+			open[openKey{e.Key, e.Life}] = e
+		case ComputeDone, ComputeFault:
+			start, ok := open[openKey{e.Key, e.Life}]
+			if !ok {
+				out.TraceEvents = append(out.TraceEvents, instant(e))
+				continue
+			}
+			delete(open, openKey{e.Key, e.Life})
+			name := "compute"
+			if e.Kind == ComputeFault {
+				name = "compute-fault"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name,
+				Ph:   "X",
+				Ts:   float64(start.When.Microseconds()),
+				Dur:  float64((e.When - start.When).Microseconds()),
+				Pid:  1,
+				Tid:  e.Key,
+				Args: map[string]int64{"key": e.Key, "life": int64(e.Life), "arg": e.Arg, "seq": int64(start.Seq)},
+			})
+		default:
+			out.TraceEvents = append(out.TraceEvents, instant(e))
+		}
+	}
+	// Starts whose end fell outside the ring still mark where work began.
+	for _, start := range open {
+		out.TraceEvents = append(out.TraceEvents, instant(start))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// parsedTrace mirrors the emitted Chrome trace-event structure for the
+// round-trip check.
+type parsedTrace struct {
+	TraceEvents []struct {
+		Name string           `json:"name"`
+		Ph   string           `json:"ph"`
+		Ts   float64          `json:"ts"`
+		Dur  float64          `json:"dur"`
+		Pid  int              `json:"pid"`
+		Tid  int64            `json:"tid"`
+		Args map[string]int64 `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestWriteJSONRoundTrip emits a small lifecycle, writes it as a Chrome
+// trace, parses it back, and checks the pairing and payload: compute
+// start/done pairs become "X" duration events, everything else instants.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	l := New(64)
+	l.Emit(ComputeStart, 7, 0, 0)
+	l.Emit(Notify, 9, 0, 7)
+	l.Emit(ComputeDone, 7, 0, 0)
+	l.Emit(Inject, 7, 0, 1)
+	l.Emit(RecoverStart, 7, 1, 0)
+	l.Emit(ComputeStart, 7, 1, 0)
+	l.Emit(ComputeFault, 7, 1, 7)
+	l.Emit(Completed, 9, 0, 1)
+
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got parsedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+	// 8 events: 2 start/end pairs fold into 2 "X", 4 instants remain.
+	if len(got.TraceEvents) != 6 {
+		t.Fatalf("trace has %d events, want 6:\n%s", len(got.TraceEvents), buf.String())
+	}
+	var durations, instants int
+	for _, e := range got.TraceEvents {
+		switch e.Ph {
+		case "X":
+			durations++
+			if e.Tid != 7 {
+				t.Errorf("duration event on tid %d, want 7", e.Tid)
+			}
+			if e.Dur < 0 {
+				t.Errorf("negative duration %v", e.Dur)
+			}
+			if e.Name != "compute" && e.Name != "compute-fault" {
+				t.Errorf("duration event named %q", e.Name)
+			}
+		case "i":
+			instants++
+			if e.Args["key"] != e.Tid {
+				t.Errorf("instant args.key %d != tid %d", e.Args["key"], e.Tid)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if durations != 2 || instants != 4 {
+		t.Errorf("got %d durations + %d instants, want 2 + 4", durations, instants)
+	}
+	// The faulted incarnation's slice must be marked as such.
+	var faultSlices int
+	for _, e := range got.TraceEvents {
+		if e.Ph == "X" && e.Name == "compute-fault" && e.Args["life"] == 1 {
+			faultSlices++
+		}
+	}
+	if faultSlices != 1 {
+		t.Errorf("fault slices = %d, want 1", faultSlices)
+	}
+}
+
+// TestWriteJSONUnpairedStart: a start whose done was overwritten by the
+// ring degrades to an instant, and the output stays parseable.
+func TestWriteJSONUnpairedStart(t *testing.T) {
+	l := New(8)
+	l.Emit(ComputeStart, 1, 0, 0)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got parsedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TraceEvents) != 1 || got.TraceEvents[0].Ph != "i" {
+		t.Fatalf("unpaired start rendered as %+v", got.TraceEvents)
+	}
+}
+
+// TestWriteJSONNilLog: a nil log writes an empty, valid trace.
+func TestWriteJSONNilLog(t *testing.T) {
+	var l *Log
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got parsedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TraceEvents) != 0 {
+		t.Fatalf("nil log produced %d events", len(got.TraceEvents))
+	}
+}
