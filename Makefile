@@ -2,11 +2,12 @@
 #
 #   make ci      — everything a PR must pass: tier-1 gate, vet, race tests
 #   make race    — race-check the concurrency-critical packages
+#   make crashsoak — kill-and-restart soak of the durable journaled service
 #   make bench-service — record the service throughput baseline
 
 GO ?= go
 
-.PHONY: ci build test vet race soak bench-service
+.PHONY: ci build test vet race soak crashsoak fuzz bench-service
 
 ci: build test vet race
 
@@ -22,14 +23,28 @@ vet:
 
 # The concurrency-critical packages run under the race detector on every PR:
 # the work-stealing runtime, the sharded map backing the task/recovery
-# tables, and the multi-job service that multiplexes jobs onto one pool.
+# tables, the multi-job service that multiplexes jobs onto one pool, and the
+# group-commit write-ahead log under it.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/...
+	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/...
 
 # Randomized end-to-end soak (not part of ci; run before releases).
 soak:
 	$(GO) run ./cmd/ftsoak -duration 30s
 	$(GO) run ./cmd/ftsoak -duration 30s -service -jobs 4
+
+# Crash-recovery soak: SIGKILL a child server at random points, restart it
+# from the same journal (corrupting the tail once along the way), verify
+# every job across restarts against its sequential reference digest.
+crashsoak:
+	$(GO) run ./cmd/ftsoak -duration 20s -crash -crashjobs 12 -v
+
+# Short fuzz passes over the journal's record/segment decoders (seed corpus
+# in internal/journal/fuzz_test.go).
+fuzz:
+	$(GO) test ./internal/journal/ -fuzz FuzzDecodeFrame -fuzztime 10s
+	$(GO) test ./internal/journal/ -fuzz FuzzDecodeRecord -fuzztime 10s
+	$(GO) test ./internal/journal/ -fuzz FuzzReplaySegment -fuzztime 10s
 
 # Service throughput baseline (BENCH_service.json).
 bench-service:

@@ -3,7 +3,16 @@
 // concurrent task-graph jobs (internal/service), with admission control,
 // per-job deadlines and cancellation, and per-job metrics/trace retrieval.
 //
-//	ftserve -addr :8080 -workers 4 -maxjobs 4 -queue 64
+//	ftserve -addr :8080 -workers 4 -maxjobs 4 -queue 64 -data-dir /var/lib/ftserve
+//
+// With -data-dir the daemon is durable: every job state transition goes
+// through a checksummed write-ahead log (internal/journal), submissions are
+// fsynced before they are acknowledged, and a restart replays the journal —
+// finished jobs come back queryable (state, sink digest, metrics) and
+// unfinished ones are rebuilt from their persisted request JSON and re-run.
+// SIGINT/SIGTERM trigger a graceful shutdown: admission stops, in-flight
+// jobs get -grace to finish, and the journal is snapshotted and flushed
+// before exit.
 //
 // Endpoints:
 //
@@ -29,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,8 +47,10 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ftdag/internal/apps"
@@ -46,6 +58,7 @@ import (
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
 	"ftdag/internal/harness"
+	"ftdag/internal/journal"
 	"ftdag/internal/service"
 )
 
@@ -55,6 +68,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "shared pool size (0: GOMAXPROCS)")
 		maxJobs  = flag.Int("maxjobs", 4, "max concurrently executing jobs")
 		queue    = flag.Int("queue", 64, "admission queue capacity")
+		dataDir  = flag.String("data-dir", "", "journal directory for durable jobs (empty: in-memory only)")
+		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 		load     = flag.Int("load", 0, "load-generator mode: drive N jobs in-process and exit")
 		loadSize = flag.String("loadsize", "quick", "load-mode problem sizes: quick or bench")
 		benchOut = flag.String("benchout", "BENCH_service.json", "load-mode results file (empty: stdout only)")
@@ -70,8 +85,34 @@ func main() {
 		return
 	}
 
+	var jr *journal.Journal
+	if *dataDir != "" {
+		var err error
+		jr, err = journal.Open(journal.Options{Dir: *dataDir})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftserve: opening journal in %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		st := jr.State()
+		terminal, incomplete := 0, 0
+		for _, js := range st.Jobs {
+			if js.Terminal() {
+				terminal++
+			} else {
+				incomplete++
+			}
+		}
+		if n, truncated := jr.Truncated(); truncated {
+			log.Printf("ftserve: recovered journal with a torn tail (%d bytes dropped)", n)
+		}
+		log.Printf("ftserve: journal %s replayed: %d finished job(s) restored, %d incomplete job(s) to re-run",
+			*dataDir, terminal, incomplete)
+		cfg.Journal = jr
+		cfg.Rebuild = rebuildJob
+	}
+
 	srv := service.New(cfg)
-	d := &daemon{srv: srv, started: time.Now()}
+	d := &daemon{srv: srv, jr: jr, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", d.submit)
 	mux.HandleFunc("GET /jobs", d.list)
@@ -82,14 +123,37 @@ func main() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	log.Printf("ftserve: serving on %s (workers=%d maxjobs=%d queue=%d)",
-		*addr, srv.Config().Workers, srv.Config().MaxConcurrentJobs, srv.Config().MaxQueuedJobs)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Printf("ftserve: serving on %s (workers=%d maxjobs=%d queue=%d durable=%v)",
+		*addr, srv.Config().Workers, srv.Config().MaxConcurrentJobs, srv.Config().MaxQueuedJobs, jr != nil)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting HTTP first (bounded by the same
+	// grace budget), then drain the service — in-flight jobs get -grace to
+	// finish, anything still running is left incomplete in the journal for
+	// the next boot, and the journal is snapshotted and closed.
+	log.Printf("ftserve: signal received; draining (grace %v)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("ftserve: http shutdown: %v", err)
+	}
+	cancel()
+	stats := srv.Shutdown(*grace)
+	log.Printf("ftserve: drained; pool stats: %v", stats)
 }
 
 // daemon wires the service into HTTP handlers.
 type daemon struct {
 	srv     *service.Server
+	jr      *journal.Journal // nil without -data-dir
 	started time.Time
 }
 
@@ -121,10 +185,13 @@ type syntheticRequest struct {
 }
 
 type faultRequest struct {
-	Count int    `json:"count"`
-	Point string `json:"point"` // before-compute, after-compute, after-notify
-	Type  string `json:"type"`  // any, v0, vlast, vrand
-	Seed  int64  `json:"seed"`
+	// Count and Fraction are mutually exclusive ways to size the plan:
+	// an absolute number of injected tasks, or a fraction of all tasks.
+	Count    int     `json:"count,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+	Point    string  `json:"point"` // before-compute, after-compute, after-notify
+	Type     string  `json:"type"`  // any, v0, vlast, vrand
+	Seed     int64   `json:"seed"`
 }
 
 func parseTaskType(s string) (fault.TaskType, error) {
@@ -194,16 +261,26 @@ func buildJob(req jobRequest) (service.JobSpec, error) {
 	default:
 		return spec, fmt.Errorf("request needs an app name or a synthetic DAG")
 	}
-	if req.Faults != nil && req.Faults.Count > 0 {
-		point, err := fault.ParsePoint(orDefault(req.Faults.Point, "after-compute"))
+	if f := req.Faults; f != nil && (f.Count > 0 || f.Fraction > 0) {
+		if f.Count > 0 && f.Fraction > 0 {
+			return spec, fmt.Errorf("faults: count (%d) and fraction (%g) are mutually exclusive; set one", f.Count, f.Fraction)
+		}
+		if f.Fraction > 1 {
+			return spec, fmt.Errorf("faults: fraction %g out of range (0, 1]", f.Fraction)
+		}
+		point, err := fault.ParsePoint(orDefault(f.Point, "after-compute"))
 		if err != nil {
 			return spec, err
 		}
-		typ, err := parseTaskType(req.Faults.Type)
+		typ, err := parseTaskType(f.Type)
 		if err != nil {
 			return spec, err
 		}
-		spec.Plan = fault.PlanCount(spec.Spec, typ, point, req.Faults.Count, req.Faults.Seed)
+		if f.Fraction > 0 {
+			spec.Plan = fault.PlanFraction(spec.Spec, typ, point, f.Fraction, f.Seed)
+		} else {
+			spec.Plan = fault.PlanCount(spec.Spec, typ, point, f.Count, f.Seed)
+		}
 	}
 	if req.DeadlineMS > 0 {
 		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
@@ -217,6 +294,24 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// rebuildJob is the durable server's Config.Rebuild: the journaled payload
+// is the canonical submission-request JSON, so replay goes through exactly
+// the same construction path as a live submission. The journaled fault-plan
+// manifest (the original run's exact injections) overrides the plan this
+// rebuild derives from the request's seed.
+func rebuildJob(payload []byte) (service.JobSpec, error) {
+	var req jobRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return service.JobSpec{}, fmt.Errorf("decoding journaled request: %w", err)
+	}
+	spec, err := buildJob(req)
+	if err != nil {
+		return service.JobSpec{}, err
+	}
+	spec.Payload = payload
+	return spec, nil
 }
 
 // diffSink compares a sink against the sequential ground truth.
@@ -242,6 +337,17 @@ func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	if d.jr != nil {
+		// Persist the canonical (re-marshaled) request as the job's
+		// payload: after a crash, rebuildJob turns it back into this
+		// same JobSpec.
+		payload, err := json.Marshal(req)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("encoding payload: %w", err))
+			return
+		}
+		spec.Payload = payload
 	}
 	h, err := d.srv.Submit(spec)
 	switch {
@@ -298,17 +404,23 @@ func (d *daemon) trace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := tl.WriteJSON(w); err != nil {
+	if err := tl.WriteJSONNamed(w, h.Status().Name); err != nil {
 		log.Printf("ftserve: writing trace of job %d: %v", h.ID(), err)
 	}
 }
 
 func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
 	snap := d.srv.Snapshot()
+	var js *journal.Stats
+	if d.jr != nil {
+		s := d.jr.Stats()
+		js = &s
+	}
 	writeJSON(w, http.StatusOK, struct {
 		UptimeSec float64 `json:"uptime_sec"`
 		service.Snapshot
-	}{time.Since(d.started).Seconds(), snap})
+		Journal *journal.Stats `json:"journal,omitempty"`
+	}{time.Since(d.started).Seconds(), snap, js})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

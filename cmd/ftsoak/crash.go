@@ -1,0 +1,372 @@
+// Crash soak: kill-and-restart durability testing for the journaled
+// execution service. The parent process derives a deterministic job list
+// from the master seed, computes each job's sequential reference digest,
+// then repeatedly spawns a child server over one shared -data-dir and
+// SIGKILLs it at a random point. Before the final (unkilled) run the parent
+// deliberately corrupts the journal's tail and requires the child to
+// recover by truncating it with a warning, not by refusing to boot. The
+// run passes only if, at the end, every job is journaled Succeeded with a
+// sink digest equal to its sequential reference — across however many
+// crashes it took to get there.
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/journal"
+	"ftdag/internal/service"
+)
+
+// crashJob is the self-contained, deterministic description of one soak
+// job: everything the child needs to rebuild the identical graph, fault
+// plan, and verification after any number of crashes. It doubles as the
+// journaled JobSpec.Payload.
+type crashJob struct {
+	I      int    `json:"i"`
+	GSeed  uint64 `json:"gseed"`
+	Layers int    `json:"layers"`
+	Width  int    `json:"width"`
+	MaxIn  int    `json:"max_in"`
+	Faults int    `json:"faults"`
+	FSeed  int64  `json:"fseed"`
+}
+
+func (c crashJob) name() string { return fmt.Sprintf("crash-%d", c.I) }
+
+func (c crashJob) graph() graph.Spec {
+	return graph.Layered(c.Layers, c.Width, c.MaxIn, c.GSeed, nil)
+}
+
+// slowSpec stretches each task by a fixed delay so a child incarnation is
+// actually mid-execution when the parent's SIGKILL lands; without it the
+// tiny soak graphs finish before any kill can fire. The delay does not
+// change task outputs, so verification against the undelayed sequential
+// reference still holds.
+type slowSpec struct {
+	graph.Spec
+	delay time.Duration
+}
+
+func (s slowSpec) Compute(ctx graph.Context, key graph.Key) error {
+	time.Sleep(s.delay)
+	return s.Spec.Compute(ctx, key)
+}
+
+// crashJobList derives the deterministic job list from the master seed.
+func crashJobList(seed int64, n int) []crashJob {
+	rng := mrand.New(mrand.NewSource(seed))
+	jobs := make([]crashJob, n)
+	for i := range jobs {
+		jobs[i] = crashJob{
+			I:      i,
+			GSeed:  rng.Uint64() | 1,
+			Layers: 3 + rng.Intn(4),
+			Width:  3 + rng.Intn(4),
+			MaxIn:  1 + rng.Intn(3),
+			Faults: rng.Intn(6),
+			FSeed:  rng.Int63(),
+		}
+	}
+	return jobs
+}
+
+// buildCrashSpec turns a crashJob into a runnable JobSpec: Recorder-wrapped
+// graph, the job's deterministic fault plan, and a task-by-task Verify
+// against a sequential reference computed fresh in this process.
+func buildCrashSpec(c crashJob, timeout time.Duration) (service.JobSpec, error) {
+	g := c.graph()
+	ref := core.NewRecorder(g)
+	if _, err := core.NewSequential(ref, 0).Run(); err != nil {
+		return service.JobSpec{}, fmt.Errorf("sequential reference for %s: %w", c.name(), err)
+	}
+	want := ref.Outputs()
+	plan := fault.NewPlan()
+	points := []fault.Point{fault.BeforeCompute, fault.AfterCompute, fault.AfterNotify}
+	prng := mrand.New(mrand.NewSource(c.FSeed))
+	for _, k := range fault.SelectTasks(g, fault.AnyTask, c.Faults, c.FSeed) {
+		plan.Add(k, points[prng.Intn(3)], 1+prng.Intn(3))
+	}
+	rec := core.NewRecorder(slowSpec{Spec: g, delay: 5 * time.Millisecond})
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return service.JobSpec{}, err
+	}
+	return service.JobSpec{
+		Name:            c.name(),
+		Spec:            rec,
+		Plan:            plan,
+		VerifyChecksums: true,
+		Deadline:        timeout,
+		Payload:         payload,
+		Verify: func(*core.Result) error {
+			if d := rec.Diff(want); d != "" {
+				return fmt.Errorf("output divergence: %s", d)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// crashRebuild is the child's Config.Rebuild: payload JSON back to the
+// identical JobSpec (the journaled plan manifest then overrides the
+// freshly derived — identical — plan).
+func crashRebuild(timeout time.Duration) func([]byte) (service.JobSpec, error) {
+	return func(payload []byte) (service.JobSpec, error) {
+		var c crashJob
+		if err := json.Unmarshal(payload, &c); err != nil {
+			return service.JobSpec{}, fmt.Errorf("decoding crash payload: %w", err)
+		}
+		return buildCrashSpec(c, timeout)
+	}
+}
+
+// runCrashChild is the child process: open the journal (recovering whatever
+// the previous incarnation left), re-enqueue incomplete jobs, submit jobs
+// never journaled, wait for everything, exit 0. The parent may SIGKILL it
+// anywhere in between — that is the point.
+func runCrashChild(dataDir string, seed int64, njobs, workers int, timeout time.Duration) error {
+	jr, err := journal.Open(journal.Options{Dir: dataDir})
+	if err != nil {
+		return fmt.Errorf("opening journal: %w", err)
+	}
+	have := make(map[string]bool)
+	for _, js := range jr.State().Jobs {
+		have[js.Name] = true
+	}
+	srv := service.New(service.Config{
+		Workers:           workers,
+		MaxConcurrentJobs: 2,
+		MaxQueuedJobs:     njobs + 4,
+		Journal:           jr,
+		Rebuild:           crashRebuild(timeout),
+	})
+	jobs := crashJobList(seed, njobs)
+	for _, c := range jobs {
+		if have[c.name()] {
+			continue
+		}
+		spec, err := buildCrashSpec(c, timeout)
+		if err != nil {
+			return err
+		}
+		if _, err := srv.Submit(spec); err != nil {
+			return fmt.Errorf("submit %s: %w", c.name(), err)
+		}
+	}
+	byName := make(map[string]service.Status)
+	for _, st := range srv.Jobs() {
+		byName[st.Name] = st
+	}
+	for _, c := range jobs {
+		st, ok := byName[c.name()]
+		if !ok {
+			return fmt.Errorf("%s neither restored nor submitted", c.name())
+		}
+		h, ok := srv.Job(st.ID)
+		if !ok {
+			return fmt.Errorf("no handle for job %d (%s)", st.ID, c.name())
+		}
+		if _, err := h.Wait(); err != nil {
+			return fmt.Errorf("%s: %w", c.name(), err)
+		}
+	}
+	srv.Close()
+	fmt.Printf("crashchild: all %d jobs terminal\n", njobs)
+	return nil
+}
+
+// corruptJournalTail simulates a torn write: garbage appended to the
+// newest WAL segment (or, when a clean exit left only snapshots, a fresh
+// segment holding nothing but garbage after its magic). The next boot must
+// truncate it with a warning, not fail.
+func corruptJournalTail(dataDir string) (string, error) {
+	ents, err := os.ReadDir(dataDir)
+	if err != nil {
+		return "", err
+	}
+	var segs, snaps []string
+	for _, e := range ents {
+		switch {
+		case strings.HasPrefix(e.Name(), "wal-"):
+			segs = append(segs, e.Name())
+		case strings.HasPrefix(e.Name(), "snap-"):
+			snaps = append(snaps, e.Name())
+		}
+	}
+	garbage := make([]byte, 73)
+	if _, err := rand.Read(garbage); err != nil {
+		return "", err
+	}
+	if len(segs) > 0 {
+		sort.Strings(segs)
+		path := filepath.Join(dataDir, segs[len(segs)-1])
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			return "", err
+		}
+		_, werr := f.Write(garbage)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return path, werr
+	}
+	// Clean shutdown compacted every segment away: plant a next-seq
+	// segment that is pure garbage past the magic.
+	if len(snaps) == 0 {
+		return "", fmt.Errorf("nothing to corrupt in %s", dataDir)
+	}
+	sort.Strings(snaps)
+	var seq uint64
+	if _, err := fmt.Sscanf(snaps[len(snaps)-1], "snap-%016x.snap", &seq); err != nil {
+		return "", fmt.Errorf("parsing %s: %w", snaps[len(snaps)-1], err)
+	}
+	path := filepath.Join(dataDir, fmt.Sprintf("wal-%016x.log", seq))
+	return path, os.WriteFile(path, append([]byte("FTJRNL01"), garbage...), 0o644)
+}
+
+// runCrashSoak is the parent: spawn/kill loop, tail corruption, final
+// verification of every job against its sequential reference digest.
+func runCrashSoak(seed int64, duration time.Duration, njobs, workers int, timeout time.Duration, verbose bool) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsoak: locating executable: %v\n", err)
+		os.Exit(1)
+	}
+	dataDir, err := os.MkdirTemp("", "ftsoak-crash-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsoak: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ftsoak: crash soak seed=%d jobs=%d data-dir=%s\n", seed, njobs, dataDir)
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ftsoak: FAILURE: "+format+"\n", args...)
+		fmt.Fprintf(os.Stderr, "  journal kept for inspection: %s\n", dataDir)
+		os.Exit(1)
+	}
+
+	// Sequential reference digests, computed once up front.
+	jobs := crashJobList(seed, njobs)
+	wantDigest := make(map[string]string, njobs)
+	for _, c := range jobs {
+		res, err := core.NewSequential(c.graph(), 0).Run()
+		if err != nil {
+			fatalf("sequential reference %s: %v", c.name(), err)
+		}
+		wantDigest[c.name()] = journal.Digest(res.Sink)
+	}
+
+	child := func() *exec.Cmd {
+		cmd := exec.Command(exe,
+			"-crashchild",
+			"-datadir", dataDir,
+			"-seed", fmt.Sprint(seed),
+			"-crashjobs", fmt.Sprint(njobs),
+			"-maxworkers", fmt.Sprint(workers),
+			"-timeout", fmt.Sprint(timeout))
+		return cmd
+	}
+
+	// Kill loop: let each incarnation live 30–400ms, then SIGKILL it.
+	krng := mrand.New(mrand.NewSource(seed ^ 0x6b696c6c)) // "kill"
+	deadline := time.Now().Add(duration)
+	runs, kills := 0, 0
+	for time.Now().Before(deadline) {
+		runs++
+		cmd := child()
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			fatalf("starting child: %v", err)
+		}
+		live := time.Duration(30+krng.Intn(370)) * time.Millisecond
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		var finished bool
+		select {
+		case err := <-done:
+			if err != nil {
+				fatalf("child run %d exited with error: %v\n--- child output ---\n%s", runs, err, out.String())
+			}
+			finished = true
+		case <-time.After(live):
+			_ = cmd.Process.Kill()
+			<-done
+			kills++
+		}
+		if verbose {
+			if finished {
+				fmt.Printf("run %d: child finished cleanly\n", runs)
+			} else {
+				fmt.Printf("run %d: SIGKILL after %v\n", runs, live)
+			}
+		}
+		if finished {
+			break
+		}
+	}
+
+	// Corrupt the tail, then require the final run to boot through it
+	// (truncate-with-warning) and finish every job.
+	corrupted, err := corruptJournalTail(dataDir)
+	if err != nil {
+		fatalf("corrupting journal tail: %v", err)
+	}
+	if verbose {
+		fmt.Printf("corrupted tail of %s\n", corrupted)
+	}
+	cmd := child()
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Run(); err != nil {
+		fatalf("final child run failed: %v\n--- child output ---\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "torn tail") {
+		fatalf("final run did not report the corrupted tail truncation\n--- child output ---\n%s", out.String())
+	}
+
+	// Final verification straight from the journal: every job Succeeded,
+	// every digest equal to its sequential reference.
+	jr, err := journal.Open(journal.Options{Dir: dataDir})
+	if err != nil {
+		fatalf("opening journal for verification: %v", err)
+	}
+	st := jr.State()
+	byName := make(map[string]*journal.JobState, len(st.Jobs))
+	for _, js := range st.Jobs {
+		byName[js.Name] = js
+	}
+	reexec := int64(0)
+	for _, c := range jobs {
+		js, ok := byName[c.name()]
+		if !ok {
+			fatalf("%s missing from journal after recovery", c.name())
+		}
+		if js.State != journal.Succeeded {
+			fatalf("%s recovered as %v (error %q), want succeeded", c.name(), js.State, js.Error)
+		}
+		if js.SinkDigest != wantDigest[c.name()] {
+			fatalf("%s digest %s != sequential reference %s (Theorem 1 violation across restarts)",
+				c.name(), js.SinkDigest, wantDigest[c.name()])
+		}
+		reexec += js.ReexecutedTasks
+	}
+	if err := jr.Close(); err != nil {
+		fatalf("closing journal: %v", err)
+	}
+	os.RemoveAll(dataDir)
+	fmt.Printf("ftsoak: PASS (crash) — %d jobs verified across %d run(s), %d kill(s), 1 corrupted tail; %d tasks re-executed\n",
+		njobs, runs+1, kills, reexec)
+}

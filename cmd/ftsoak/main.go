@@ -10,9 +10,16 @@
 // jobs share one long-lived pool, and every job's full output is verified,
 // checking Theorem 1 end-to-end under multi-tenant load.
 //
+// The -crash mode soaks the durable journaled service instead: a child
+// server process is repeatedly SIGKILLed at random points and restarted
+// from the same -data-dir (with one deliberately corrupted journal tail
+// along the way), and every job is verified across restarts against its
+// sequential reference digest.
+//
 //	ftsoak -duration 30s
 //	ftsoak -duration 5m -maxworkers 8 -v
 //	ftsoak -duration 1m -service -jobs 4
+//	ftsoak -duration 20s -crash -crashjobs 12
 package main
 
 import (
@@ -38,8 +45,24 @@ func main() {
 		verbose    = flag.Bool("v", false, "print every iteration")
 		useService = flag.Bool("service", false, "submit scenarios through the multi-job Server on one shared pool")
 		jobs       = flag.Int("jobs", 4, "concurrent jobs per batch in -service mode")
+		crash      = flag.Bool("crash", false, "kill-and-restart soak of the journaled service (spawns child processes)")
+		crashJobs  = flag.Int("crashjobs", 12, "total jobs the crash soak must complete across restarts")
+		crashChild = flag.Bool("crashchild", false, "internal: run as a crash-soak child server")
+		dataDir    = flag.String("datadir", "", "internal: crash-soak child journal directory")
 	)
 	flag.Parse()
+
+	if *crashChild {
+		if err := runCrashChild(*dataDir, *seed, *crashJobs, *maxWorkers, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "crashchild: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *crash {
+		runCrashSoak(*seed, *duration, *crashJobs, *maxWorkers, *timeout, *verbose)
+		return
+	}
 
 	fmt.Printf("ftsoak: seed=%d duration=%v\n", *seed, *duration)
 	rng := rand.New(rand.NewSource(*seed))

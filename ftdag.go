@@ -36,6 +36,7 @@ import (
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
+	"ftdag/internal/journal"
 	"ftdag/internal/service"
 )
 
@@ -128,6 +129,23 @@ type (
 	ServiceSnapshot = service.Snapshot
 )
 
+// Durable-journal types. See the internal/journal package. A Journal is an
+// append-only, segmented, checksummed write-ahead log plus snapshot store
+// for the service's job lifecycle: attach one via ServiceConfig.Journal
+// (with a ServiceConfig.Rebuild callback) and the service survives crashes
+// — finished jobs come back queryable, unfinished jobs are re-enqueued, and
+// a torn or corrupted journal tail is truncated with a warning at the next
+// open instead of refusing to boot.
+type (
+	// Journal is a durable write-ahead log of job lifecycle records.
+	Journal = journal.Journal
+	// JournalOptions configures OpenJournal (directory, segment size,
+	// snapshot retention, fsync policy).
+	JournalOptions = journal.Options
+	// JournalStats counts appends, fsyncs, rotations, and snapshots.
+	JournalStats = journal.Stats
+)
+
 // Job lifecycle states.
 const (
 	JobQueued    = service.Queued
@@ -155,8 +173,17 @@ var (
 
 // NewService starts a multi-job execution service: one shared work-stealing
 // pool serving every submitted job, with admission control and per-job
-// isolation (cancellation and faults stay local to the job).
+// isolation (cancellation and faults stay local to the job). With
+// cfg.Journal set the service is durable: submissions are fsynced before
+// they are acknowledged, and NewService replays the journal — restoring
+// finished jobs and re-enqueueing unfinished ones via cfg.Rebuild.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// OpenJournal opens (or creates) a durable job journal in opts.Dir,
+// replaying any existing snapshot and write-ahead-log segments and
+// recovering from a torn tail by truncating it. Pass the journal to
+// NewService via ServiceConfig.Journal; the service owns and closes it.
+func OpenJournal(opts JournalOptions) (*Journal, error) { return journal.Open(opts) }
 
 // Run executes the task graph with the fault-tolerant work-stealing
 // scheduler (Figures 2–3 of the paper) and returns the run's result.

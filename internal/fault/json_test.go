@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// These tests cover the manifest edge cases the basic round-trip tests in
+// fault_test.go do not: the empty plan, the exact lives validity bounds,
+// and the usefulness of rejection errors (a hand-edited manifest typo must
+// be findable from the message alone).
+
+// TestPlanJSONEmpty: the empty plan round-trips to an empty, still-usable
+// plan — not an error and not a nil injection map.
+func TestPlanJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(NewPlan())
+	if err != nil {
+		t.Fatalf("marshal empty: %v", err)
+	}
+	p := NewPlan()
+	if err := json.Unmarshal(data, p); err != nil {
+		t.Fatalf("unmarshal empty: %v", err)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("empty plan round-tripped to %d injections", p.Len())
+	}
+	p.Add(1, AfterCompute, 1)
+	if p.Len() != 1 || !p.Fire(1, 0, AfterCompute) {
+		t.Fatalf("plan unusable after empty round trip")
+	}
+}
+
+func injectionBlob(lives int) []byte {
+	b, _ := json.Marshal(lives)
+	return []byte(`{"injections":[{"key":7,"point":"after-compute","lives":` + string(b) + `}]}`)
+}
+
+// TestPlanJSONLivesBounds: lives 1 and 63 are the valid extremes and must
+// be accepted; 0, -1, and 64 are rejected with errors naming the offending
+// task and field.
+func TestPlanJSONLivesBounds(t *testing.T) {
+	for _, lives := range []int{1, 63} {
+		p := NewPlan()
+		if err := json.Unmarshal(injectionBlob(lives), p); err != nil {
+			t.Fatalf("lives=%d rejected: %v", lives, err)
+		}
+		if p.Len() != 1 {
+			t.Fatalf("lives=%d lost the injection", lives)
+		}
+	}
+	for _, lives := range []int{0, -1, 64} {
+		p := NewPlan()
+		err := json.Unmarshal(injectionBlob(lives), p)
+		if err == nil {
+			t.Fatalf("lives=%d accepted", lives)
+		}
+		if !strings.Contains(err.Error(), "task 7") || !strings.Contains(err.Error(), "lives") {
+			t.Fatalf("lives=%d error does not locate the problem: %v", lives, err)
+		}
+	}
+}
+
+// TestPlanJSONUnknownPointError: an unknown injection point is rejected
+// with an error that quotes the bad name.
+func TestPlanJSONUnknownPointError(t *testing.T) {
+	p := NewPlan()
+	err := json.Unmarshal([]byte(`{"injections":[{"key":1,"point":"mid-compute","lives":1}]}`), p)
+	if err == nil {
+		t.Fatalf("unknown point accepted")
+	}
+	if !strings.Contains(err.Error(), `"mid-compute"`) {
+		t.Fatalf("error does not quote the unknown point: %v", err)
+	}
+}
+
+// TestPlanJSONDuplicateKeyError: a duplicated task is rejected with an
+// error identifying which task was duplicated.
+func TestPlanJSONDuplicateKeyError(t *testing.T) {
+	p := NewPlan()
+	err := json.Unmarshal([]byte(
+		`{"injections":[{"key":3,"point":"after-compute","lives":1},{"key":3,"point":"after-notify","lives":2}]}`), p)
+	if err == nil {
+		t.Fatalf("duplicate key accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate") || !strings.Contains(err.Error(), "3") {
+		t.Fatalf("error does not identify the duplicate: %v", err)
+	}
+}
+
+// TestParsePointExhaustive: every name in the wire-name table parses back
+// to its point, and the empty string is an error, not a silent default.
+func TestParsePointExhaustive(t *testing.T) {
+	for p, name := range pointNames {
+		got, err := ParsePoint(name)
+		if err != nil || got != p {
+			t.Fatalf("ParsePoint(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePoint(""); err == nil {
+		t.Fatalf("empty point accepted")
+	}
+}
+
+// TestPlanJSONRejectedInputLeavesPlanIntact: a failed unmarshal must not
+// clobber the plan's previous contents (the service replays manifests into
+// fresh plans, but callers may not).
+func TestPlanJSONRejectedInputLeavesPlanIntact(t *testing.T) {
+	p := NewPlan().Add(4, AfterNotify, 2)
+	if err := json.Unmarshal(injectionBlob(0), p); err == nil {
+		t.Fatalf("invalid manifest accepted")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("failed unmarshal clobbered the plan: len %d", p.Len())
+	}
+}

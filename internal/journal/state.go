@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"encoding/json"
+	"time"
+
+	"ftdag/internal/core"
+)
+
+// JobState is the replayed (or snapshotted) condition of one job: the fold
+// of every record appended for its ID.
+type JobState struct {
+	ID      int64           `json:"id"`
+	Name    string          `json:"name,omitempty"`
+	Payload []byte          `json:"payload,omitempty"`
+	Plan    json.RawMessage `json:"plan,omitempty"`
+	// State is the kind of the job's latest lifecycle record. Submitted
+	// and Started mean the job is incomplete and must be re-run after a
+	// restart.
+	State       Kind      `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at,omitempty"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	Error       string    `json:"error,omitempty"`
+
+	SinkDigest      string        `json:"sink_digest,omitempty"`
+	SinkLen         int           `json:"sink_len,omitempty"`
+	Elapsed         time.Duration `json:"elapsed_ns,omitempty"`
+	Tasks           int           `json:"tasks,omitempty"`
+	ReexecutedTasks int64         `json:"reexecuted_tasks,omitempty"`
+	Metrics         core.Metrics  `json:"metrics,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (js *JobState) Terminal() bool { return js.State.Terminal() }
+
+// State is the aggregate condition of every journaled job.
+type State struct {
+	// Jobs maps job ID to its folded state.
+	Jobs map[int64]*JobState
+	// Order lists job IDs in first-appearance (submission) order.
+	Order []int64
+	// MaxID is the highest job ID ever journaled; a service resuming
+	// from this state continues numbering after it.
+	MaxID int64
+}
+
+func newState() *State { return &State{Jobs: make(map[int64]*JobState)} }
+
+// apply folds one record into the state. Replay after a crash can observe
+// benign anomalies — a repeated Started from a job that was re-enqueued, or
+// a Started whose Submitted fell into a truncated tail — so apply is
+// tolerant: records create the job on first sight and later records only
+// fill in what they carry.
+func (st *State) apply(rec *Record) {
+	js, ok := st.Jobs[rec.ID]
+	if !ok {
+		js = &JobState{ID: rec.ID}
+		st.Jobs[rec.ID] = js
+		st.Order = append(st.Order, rec.ID)
+		if rec.ID > st.MaxID {
+			st.MaxID = rec.ID
+		}
+	}
+	// A terminal state is sticky: a stray lifecycle record replayed after
+	// it (possible when a snapshot boundary races a crash) cannot revive
+	// the job.
+	if js.Terminal() {
+		return
+	}
+	switch rec.Kind {
+	case Submitted:
+		js.State = Submitted
+		js.Name = rec.Name
+		js.Payload = rec.Payload
+		js.Plan = rec.Plan
+		js.SubmittedAt = rec.Time
+	case Started:
+		js.State = Started
+		js.StartedAt = rec.Time
+	case Succeeded:
+		js.State = Succeeded
+		js.FinishedAt = rec.Time
+		js.SinkDigest = rec.SinkDigest
+		js.SinkLen = rec.SinkLen
+		js.Elapsed = rec.Elapsed
+		js.Tasks = rec.Tasks
+		js.ReexecutedTasks = rec.ReexecutedTasks
+		if rec.Metrics != nil {
+			js.Metrics = *rec.Metrics
+		}
+	case Failed, Cancelled:
+		js.State = rec.Kind
+		js.FinishedAt = rec.Time
+		js.Error = rec.Error
+	}
+}
+
+// clone deep-copies the state (payload/plan bytes are immutable once
+// journaled and are shared, not copied).
+func (st *State) clone() *State {
+	out := &State{
+		Jobs:  make(map[int64]*JobState, len(st.Jobs)),
+		Order: append([]int64(nil), st.Order...),
+		MaxID: st.MaxID,
+	}
+	for id, js := range st.Jobs {
+		c := *js
+		out.Jobs[id] = &c
+	}
+	return out
+}
+
+// snapshotJSON is the serialized form of a State (snapshot files).
+type snapshotJSON struct {
+	MaxID int64       `json:"max_id"`
+	Jobs  []*JobState `json:"jobs"` // in submission order
+}
+
+func (st *State) marshalSnapshot() ([]byte, error) {
+	out := snapshotJSON{MaxID: st.MaxID, Jobs: make([]*JobState, 0, len(st.Order))}
+	for _, id := range st.Order {
+		out.Jobs = append(out.Jobs, st.Jobs[id])
+	}
+	return json.Marshal(out)
+}
+
+func unmarshalSnapshot(data []byte) (*State, error) {
+	var in snapshotJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	st := newState()
+	st.MaxID = in.MaxID
+	for _, js := range in.Jobs {
+		if _, dup := st.Jobs[js.ID]; dup {
+			continue
+		}
+		st.Jobs[js.ID] = js
+		st.Order = append(st.Order, js.ID)
+		if js.ID > st.MaxID {
+			st.MaxID = js.ID
+		}
+	}
+	return st, nil
+}

@@ -16,8 +16,10 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"time"
@@ -25,6 +27,7 @@ import (
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
+	"ftdag/internal/journal"
 	"ftdag/internal/sched"
 	"ftdag/internal/trace"
 )
@@ -101,6 +104,13 @@ type JobSpec struct {
 	// run; a non-nil error marks the job Failed. It runs on the job's
 	// runner goroutine.
 	Verify func(*core.Result) error
+	// Payload is an opaque serializable description of the job (e.g. the
+	// daemon's submission-request JSON). A journaled server persists it
+	// with the Submitted record; after a crash, Config.Rebuild turns it
+	// back into a runnable JobSpec so the job can be re-enqueued. Jobs
+	// without a payload cannot be re-run after a restart and are
+	// restored as Failed.
+	Payload []byte
 }
 
 // Config configures a Server.
@@ -115,6 +125,22 @@ type Config struct {
 	MaxConcurrentJobs int
 	// SchedPolicy selects the pool's scheduling discipline.
 	SchedPolicy sched.Policy
+	// Journal, when non-nil, makes the server durable: every job state
+	// transition is appended to the write-ahead log (the Submitted
+	// record is group-commit-fsynced before Submit returns), and New
+	// replays the journal's state — completed jobs come back queryable
+	// with their result digests and metrics, incomplete jobs are
+	// re-enqueued and re-run. The server owns the journal from here on
+	// and closes it in Close/Shutdown.
+	Journal *journal.Journal
+	// Rebuild reconstructs a runnable JobSpec from a persisted
+	// JobSpec.Payload during replay. Required to re-run incomplete jobs
+	// after a crash; without it (or on a rebuild error) such jobs are
+	// restored as Failed rather than silently dropped.
+	Rebuild func(payload []byte) (JobSpec, error)
+	// Logf receives journal-append failures and replay warnings
+	// (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrentJobs < 1 {
 		c.MaxConcurrentJobs = 4
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c
 }
@@ -147,6 +176,14 @@ type job struct {
 	res         *core.Result
 	err         error
 	deadlineHit bool
+	// sinkDigest summarizes res.Sink for cross-incarnation comparison
+	// (set on success, or restored from the journal).
+	sinkDigest string
+	// restored marks a job reconstructed from the journal at New.
+	restored bool
+	// shutdownAbort marks a job aborted by Shutdown's grace expiry; its
+	// terminal state is NOT journaled, so a restart re-runs it.
+	shutdownAbort bool
 }
 
 // cancelNow closes the job's cancel channel at most once.
@@ -158,6 +195,9 @@ type Server struct {
 	pool  *sched.Pool
 	queue chan *job
 	wg    sync.WaitGroup
+	// submitWG tracks Submits between admission and enqueue so Close can
+	// wait for them before closing the queue channel.
+	submitWG sync.WaitGroup
 
 	mu       sync.Mutex
 	closed   bool
@@ -165,18 +205,36 @@ type Server struct {
 	jobs     map[int64]*job
 	order    []int64 // submission order, for listings
 	rejected int64
+	inQueue  int // jobs admitted but not yet picked up by a runner
 }
 
 // New starts a server: one pool of cfg.Workers workers plus
 // cfg.MaxConcurrentJobs runner goroutines draining the admission queue.
+// With cfg.Journal set, New first replays the journal: terminal jobs are
+// restored queryable (state, result digest, metrics), incomplete jobs are
+// rebuilt via cfg.Rebuild and re-enqueued ahead of new submissions.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		pool:  sched.NewPoolWithPolicy(cfg.Workers, cfg.SchedPolicy),
-		queue: make(chan *job, cfg.MaxQueuedJobs),
-		jobs:  make(map[int64]*job),
+		cfg:  cfg,
+		pool: sched.NewPoolWithPolicy(cfg.Workers, cfg.SchedPolicy),
+		jobs: make(map[int64]*job),
 	}
+	var reenq []*job
+	if cfg.Journal != nil {
+		reenq = s.replay(cfg.Journal.State())
+	}
+	// The queue must absorb every re-enqueued job even when there are
+	// more of them than the configured admission bound.
+	qcap := cfg.MaxQueuedJobs
+	if len(reenq) > qcap {
+		qcap = len(reenq)
+	}
+	s.queue = make(chan *job, qcap)
+	for _, j := range reenq {
+		s.queue <- j
+	}
+	s.inQueue = len(reenq)
 	s.wg.Add(cfg.MaxConcurrentJobs)
 	for i := 0; i < cfg.MaxConcurrentJobs; i++ {
 		go s.runner()
@@ -184,11 +242,129 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// replay folds the journal's state into the server: terminal jobs become
+// queryable records, incomplete jobs are rebuilt for re-execution. Jobs
+// that cannot be rebuilt are marked Failed — visibly, and durably so the
+// next incarnation does not retry them either. Returns the jobs to
+// re-enqueue, in submission order.
+func (s *Server) replay(st *journal.State) []*job {
+	var reenq []*job
+	for _, id := range st.Order {
+		js := st.Jobs[id]
+		j := &job{
+			id:        id,
+			submitted: js.SubmittedAt,
+			cancel:    make(chan struct{}),
+			done:      make(chan struct{}),
+			restored:  true,
+		}
+		j.spec.Name = js.Name
+		j.spec.Payload = js.Payload
+		switch js.State {
+		case journal.Succeeded:
+			j.state = Succeeded
+			j.started, j.finished = js.StartedAt, js.FinishedAt
+			j.sinkDigest = js.SinkDigest
+			// The sink data itself is not journaled — only its
+			// digest — so the restored Result carries a nil Sink.
+			j.res = &core.Result{
+				Elapsed:         js.Elapsed,
+				Tasks:           js.Tasks,
+				ReexecutedTasks: js.ReexecutedTasks,
+				Metrics:         js.Metrics,
+			}
+			close(j.done)
+		case journal.Failed, journal.Cancelled:
+			if js.State == journal.Failed {
+				j.state = Failed
+			} else {
+				j.state = Cancelled
+			}
+			j.started, j.finished = js.StartedAt, js.FinishedAt
+			if js.Error != "" {
+				j.err = errors.New(js.Error)
+			}
+			close(j.done)
+		default: // Submitted or Started: incomplete, re-run it.
+			spec, err := s.rebuildSpec(js)
+			if err != nil {
+				s.failRestored(j, err)
+				break
+			}
+			spec.Name = js.Name
+			spec.Payload = js.Payload
+			j.spec = spec
+			if spec.TraceCapacity > 0 {
+				j.trace = trace.New(spec.TraceCapacity)
+			}
+			j.state = Queued
+			reenq = append(reenq, j)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	s.nextID = st.MaxID
+	return reenq
+}
+
+// rebuildSpec reconstructs a runnable JobSpec for an incomplete journaled
+// job: Config.Rebuild interprets the payload, then the journaled fault-plan
+// manifest (the exact injections of the original run) overrides whatever
+// plan the rebuild produced.
+func (s *Server) rebuildSpec(js *journal.JobState) (JobSpec, error) {
+	if s.cfg.Rebuild == nil {
+		return JobSpec{}, errors.New("service: no Config.Rebuild to re-run the job after restart")
+	}
+	if len(js.Payload) == 0 {
+		return JobSpec{}, errors.New("service: job was journaled without a payload")
+	}
+	spec, err := s.cfg.Rebuild(js.Payload)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("service: rebuilding job from payload: %w", err)
+	}
+	if spec.Spec == nil {
+		return JobSpec{}, errors.New("service: Rebuild returned a JobSpec without a Spec")
+	}
+	if len(js.Plan) > 0 {
+		plan := fault.NewPlan()
+		if err := json.Unmarshal(js.Plan, plan); err != nil {
+			return JobSpec{}, fmt.Errorf("service: restoring fault plan: %w", err)
+		}
+		spec.Plan = plan
+	}
+	return spec, nil
+}
+
+// failRestored marks an unrebuildable job Failed, durably, so it is not
+// retried forever across restarts.
+func (s *Server) failRestored(j *job, cause error) {
+	j.state = Failed
+	j.err = fmt.Errorf("service: job not recoverable after restart: %w", cause)
+	j.finished = time.Now()
+	close(j.done)
+	s.cfg.Logf("service: job %d (%s): %v", j.id, j.spec.Name, j.err)
+	s.journalAppend(journal.Record{Kind: journal.Failed, ID: j.id, Error: j.err.Error()})
+}
+
+// journalAppend best-effort appends to the configured journal. Append
+// failures are logged, not fatal: the in-memory service keeps running, at
+// reduced durability (exactly what a disk-full production incident wants).
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(rec); err != nil {
+		s.cfg.Logf("service: journal append (%v, job %d): %v", rec.Kind, rec.ID, err)
+	}
+}
+
 // Config returns the effective (default-filled) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
 // Submit admits a job into the queue and returns its handle, or
 // ErrQueueFull / ErrClosed without side effects when admission fails.
+// On a journaled server the Submitted record is fsynced (group commit)
+// before Submit returns: an acknowledged submission survives a crash.
 func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if spec.Spec == nil {
 		return nil, errors.New("service: JobSpec.Spec is required")
@@ -197,6 +373,14 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	// Reserve queue capacity under mu — the journal append below happens
+	// outside the lock, so the channel send must be guaranteed not to
+	// block by the time we get there.
+	if s.inQueue >= cap(s.queue) {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.queue))
 	}
 	j := &job{
 		spec:      spec,
@@ -208,19 +392,50 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if spec.TraceCapacity > 0 {
 		j.trace = trace.New(spec.TraceCapacity)
 	}
-	select {
-	case s.queue <- j:
-		s.nextID++
-		j.id = s.nextID
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
-		s.mu.Unlock()
-		return &Handle{j: j}, nil
-	default:
-		s.rejected++
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.queue))
+	s.nextID++
+	j.id = s.nextID
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.inQueue++
+	s.submitWG.Add(1)
+	s.mu.Unlock()
+	defer s.submitWG.Done()
+
+	// Durable before acknowledged: a failed append is a failed Submit —
+	// the job is unregistered and never enqueued.
+	if s.cfg.Journal != nil {
+		rec := journal.Record{Kind: journal.Submitted, ID: j.id, Name: spec.Name, Payload: spec.Payload}
+		if spec.Plan != nil {
+			b, err := json.Marshal(spec.Plan)
+			if err != nil {
+				s.unregister(j)
+				return nil, fmt.Errorf("service: marshaling fault plan: %w", err)
+			}
+			rec.Plan = b
+		}
+		if err := s.cfg.Journal.Append(rec); err != nil {
+			s.unregister(j)
+			return nil, fmt.Errorf("service: journaling submission: %w", err)
+		}
 	}
+	// Capacity was reserved above, so this cannot block; submitWG keeps
+	// Close/Shutdown from closing the channel underneath the send.
+	s.queue <- j
+	return &Handle{j: j}, nil
+}
+
+// unregister rolls a failed Submit back out of the server's tables.
+func (s *Server) unregister(j *job) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.inQueue--
+	s.mu.Unlock()
 }
 
 // runner executes queued jobs one at a time; MaxConcurrentJobs runners give
@@ -234,6 +449,9 @@ func (s *Server) runner() {
 }
 
 func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	s.inQueue--
+	s.mu.Unlock()
 	select {
 	case <-j.cancel:
 		s.finish(j, nil, core.ErrCancelled)
@@ -244,6 +462,9 @@ func (s *Server) runJob(j *job) {
 	j.state = Running
 	j.started = time.Now()
 	j.mu.Unlock()
+	// A repeated Started (re-enqueued job that crashed mid-run last
+	// incarnation) is benign: journal replay treats it as idempotent.
+	s.journalAppend(journal.Record{Kind: journal.Started, ID: j.id})
 
 	var timer *time.Timer
 	if d := j.spec.Deadline; d > 0 {
@@ -273,7 +494,11 @@ func (s *Server) runJob(j *job) {
 	s.finish(j, res, err)
 }
 
-// finish moves the job to its terminal state and wakes waiters.
+// finish moves the job to its terminal state and wakes waiters. On a
+// journaled server the terminal record is appended before the done channel
+// closes, so an observed outcome is a durable outcome (modulo fsync
+// batching — the record is at least written; the next append or Close
+// syncs it).
 func (s *Server) finish(j *job, res *core.Result, err error) {
 	state := Succeeded
 	j.mu.Lock()
@@ -291,7 +516,39 @@ func (s *Server) finish(j *job, res *core.Result, err error) {
 	j.res = res
 	j.err = err
 	j.finished = time.Now()
+	if state == Succeeded && res != nil {
+		j.sinkDigest = journal.Digest(res.Sink)
+	}
+	rec := journal.Record{ID: j.id}
+	switch state {
+	case Succeeded:
+		rec.Kind = journal.Succeeded
+		if res != nil {
+			rec.SinkDigest = j.sinkDigest
+			rec.SinkLen = len(res.Sink)
+			rec.Elapsed = res.Elapsed
+			rec.Tasks = res.Tasks
+			rec.ReexecutedTasks = res.ReexecutedTasks
+			m := res.Metrics
+			rec.Metrics = &m
+		}
+	case Failed:
+		rec.Kind = journal.Failed
+		rec.Error = err.Error()
+	case Cancelled:
+		rec.Kind = journal.Cancelled
+		if err != nil {
+			rec.Error = err.Error()
+		}
+	}
+	skipJournal := j.shutdownAbort
 	j.mu.Unlock()
+	// A shutdown-aborted job's end is an artifact of this incarnation
+	// stopping, not a property of the job: it stays incomplete in the
+	// journal and re-runs on the next boot.
+	if !skipJournal {
+		s.journalAppend(rec)
+	}
 	close(j.done)
 }
 
@@ -322,13 +579,18 @@ func (s *Server) Jobs() []Status {
 }
 
 // Close stops the server: no further admissions, queued and running jobs are
-// cancelled, runners drain, and the shared pool is shut down. It returns the
-// pool's lifetime scheduler statistics. Close is idempotent-hostile by
-// design (like Pool.Close): call it once.
+// cancelled (journaled as Cancelled — a deliberate, terminal outcome), the
+// runners drain, the shared pool shuts down, and the journal (if any) is
+// snapshotted and closed. It returns the pool's lifetime scheduler
+// statistics. Close is idempotent-hostile by design (like Pool.Close): call
+// it once, and never alongside Shutdown.
 func (s *Server) Close() sched.Stats {
 	s.mu.Lock()
 	s.closed = true
+	s.mu.Unlock()
+	s.submitWG.Wait()
 	close(s.queue)
+	s.mu.Lock()
 	js := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		js = append(js, j)
@@ -343,7 +605,72 @@ func (s *Server) Close() sched.Stats {
 		}
 	}
 	s.wg.Wait()
-	return s.pool.Close()
+	stats := s.pool.Close()
+	s.closeJournal()
+	return stats
+}
+
+// Shutdown stops the server gracefully: admission stops immediately, then
+// queued and running jobs get up to grace to finish before anything still
+// in flight is aborted WITHOUT a terminal journal record — such jobs stay
+// incomplete in the write-ahead log and re-run on the next boot. grace <= 0
+// waits indefinitely (full drain). Like Close, call it once; Close and
+// Shutdown are mutually exclusive.
+func (s *Server) Shutdown(grace time.Duration) sched.Stats {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.submitWG.Wait()
+	close(s.queue)
+
+	drained := make(chan struct{})
+	go func() { s.wg.Wait(); close(drained) }()
+	var expire <-chan time.Time
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-drained:
+	case <-expire:
+		s.mu.Lock()
+		js := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			js = append(js, j)
+		}
+		s.mu.Unlock()
+		aborted := 0
+		for _, j := range js {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			if !terminal {
+				j.shutdownAbort = true
+				aborted++
+			}
+			j.mu.Unlock()
+			if !terminal {
+				j.cancelNow()
+			}
+		}
+		if aborted > 0 {
+			s.cfg.Logf("service: shutdown grace %v expired; %d job(s) aborted, left incomplete for re-run after restart", grace, aborted)
+		}
+		<-drained
+	}
+	stats := s.pool.Close()
+	s.closeJournal()
+	return stats
+}
+
+// closeJournal flushes and closes the journal, if one is configured.
+func (s *Server) closeJournal() {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal.Close(); err != nil {
+		s.cfg.Logf("service: closing journal: %v", err)
+	}
 }
 
 // Snapshot is a point-in-time view of the server for observability.
@@ -436,6 +763,11 @@ type Status struct {
 	Tasks           int           `json:"tasks,omitempty"`
 	ReexecutedTasks int64         `json:"reexecuted_tasks,omitempty"`
 	Metrics         *core.Metrics `json:"metrics,omitempty"`
+	// SinkDigest is the FNV-1a digest of the job's sink outputs (set on
+	// success; survives restarts via the journal).
+	SinkDigest string `json:"sink_digest,omitempty"`
+	// Restored marks a job reconstructed from the journal after a restart.
+	Restored bool `json:"restored,omitempty"`
 }
 
 func (j *job) status() Status {
@@ -449,6 +781,8 @@ func (j *job) status() Status {
 		Started:   j.started,
 		Finished:  j.finished,
 	}
+	st.SinkDigest = j.sinkDigest
+	st.Restored = j.restored
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}

@@ -8,14 +8,14 @@ import (
 // chromeEvent is one entry of the Chrome trace-event format (the JSON
 // object form understood by about:tracing and Perfetto).
 type chromeEvent struct {
-	Name string           `json:"name"`
-	Ph   string           `json:"ph"`
-	Ts   float64          `json:"ts"` // microseconds since log creation
-	Dur  float64          `json:"dur,omitempty"`
-	Pid  int              `json:"pid"`
-	Tid  int64            `json:"tid"`
-	S    string           `json:"s,omitempty"` // instant scope
-	Args map[string]int64 `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since log creation
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // chromeTrace is the top-level object form of the format.
@@ -32,9 +32,23 @@ type chromeTrace struct {
 // unpaired start, possible when the ring overwrote its partner) becomes an
 // instant event ("i") carrying key/life/arg/seq in its args. Safe for
 // concurrent use with Emit; a nil log writes an empty trace.
-func (l *Log) WriteJSON(w io.Writer) error {
+func (l *Log) WriteJSON(w io.Writer) error { return l.WriteJSONNamed(w, "") }
+
+// WriteJSONNamed is WriteJSON with a process label: a non-empty name is
+// emitted as a process_name metadata event, so trace viewers show the
+// job's name (which may be arbitrary user input — JSON encoding handles
+// quotes, backslashes, and non-ASCII) instead of a bare pid.
+func (l *Log) WriteJSONNamed(w io.Writer, name string) error {
 	events := l.Snapshot()
-	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)+1), DisplayTimeUnit: "ms"}
+	if name != "" {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  1,
+			Args: map[string]any{"name": name},
+		})
+	}
 	type openKey struct {
 		key  int64
 		life int
@@ -48,7 +62,7 @@ func (l *Log) WriteJSON(w io.Writer) error {
 			Pid:  1,
 			Tid:  e.Key,
 			S:    "t",
-			Args: map[string]int64{"key": e.Key, "life": int64(e.Life), "arg": e.Arg, "seq": int64(e.Seq)},
+			Args: map[string]any{"key": e.Key, "life": int64(e.Life), "arg": e.Arg, "seq": int64(e.Seq)},
 		}
 	}
 	for _, e := range events {
@@ -62,18 +76,18 @@ func (l *Log) WriteJSON(w io.Writer) error {
 				continue
 			}
 			delete(open, openKey{e.Key, e.Life})
-			name := "compute"
+			evName := "compute"
 			if e.Kind == ComputeFault {
-				name = "compute-fault"
+				evName = "compute-fault"
 			}
 			out.TraceEvents = append(out.TraceEvents, chromeEvent{
-				Name: name,
+				Name: evName,
 				Ph:   "X",
 				Ts:   float64(start.When.Microseconds()),
 				Dur:  float64((e.When - start.When).Microseconds()),
 				Pid:  1,
 				Tid:  e.Key,
-				Args: map[string]int64{"key": e.Key, "life": int64(e.Life), "arg": e.Arg, "seq": int64(start.Seq)},
+				Args: map[string]any{"key": e.Key, "life": int64(e.Life), "arg": e.Arg, "seq": int64(start.Seq)},
 			})
 		default:
 			out.TraceEvents = append(out.TraceEvents, instant(e))

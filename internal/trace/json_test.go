@@ -106,6 +106,70 @@ func TestWriteJSONUnpairedStart(t *testing.T) {
 	}
 }
 
+// TestWriteJSONNamedHostileInput: process names are arbitrary user input
+// (ftserve passes the submitted job name) and task keys can sit at the
+// int64 extremes — the emitted trace must stay valid, parseable JSON that
+// round-trips every byte of the name.
+func TestWriteJSONNamedHostileInput(t *testing.T) {
+	hostileNames := []string{
+		`quote " inside`,
+		`back\slash and \"both\"`,
+		"newline\nand\ttab",
+		"non-ASCII: héllo wörld — 日本語 ✓",
+		"control \x00\x1f bytes",
+		`</script><script>alert(1)</script>`,
+	}
+	for _, name := range hostileNames {
+		l := New(16)
+		l.Emit(ComputeStart, -9223372036854775808, 0, 0)
+		l.Emit(ComputeDone, -9223372036854775808, 0, 0)
+		l.Emit(Notify, 9223372036854775807, 63, -1)
+		var buf bytes.Buffer
+		if err := l.WriteJSONNamed(&buf, name); err != nil {
+			t.Fatalf("name %q: %v", name, err)
+		}
+		var got struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+			t.Fatalf("name %q produced invalid JSON: %v\n%s", name, err, buf.String())
+		}
+		if len(got.TraceEvents) != 3 {
+			t.Fatalf("name %q: %d events, want 3 (metadata + duration + instant)\n%s",
+				name, len(got.TraceEvents), buf.String())
+		}
+		meta := got.TraceEvents[0]
+		if meta.Ph != "M" || meta.Name != "process_name" {
+			t.Fatalf("first event is %+v, want process_name metadata", meta)
+		}
+		// encoding/json replaces bytes invalid in UTF-8 strings with
+		// U+FFFD; everything valid must survive exactly.
+		roundTripped, _ := meta.Args["name"].(string)
+		wantName := string([]rune(name))
+		if roundTripped != wantName && name == wantName {
+			t.Fatalf("name %q round-tripped as %q", name, roundTripped)
+		}
+	}
+	// The empty name adds no metadata event.
+	l := New(4)
+	l.Emit(Completed, 1, 0, 0)
+	var buf bytes.Buffer
+	if err := l.WriteJSONNamed(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	var got parsedTrace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TraceEvents) != 1 {
+		t.Fatalf("empty name: %d events, want 1", len(got.TraceEvents))
+	}
+}
+
 // TestWriteJSONNilLog: a nil log writes an empty, valid trace.
 func TestWriteJSONNilLog(t *testing.T) {
 	var l *Log
