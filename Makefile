@@ -1,15 +1,16 @@
 # CI gate for the FT-NABBIT reproduction.
 #
-#   make ci      — everything a PR must pass: tier-1 gate, vet, race tests
+#   make ci      — everything a PR must pass: tier-1 gate, vet, lint, race tests, 386 smoke
+#   make lint    — run the ftlint static-analysis suite (internal/lint)
 #   make race    — race-check the concurrency-critical packages
 #   make crashsoak — kill-and-restart soak of the durable journaled service
 #   make bench-service — record the service throughput baseline
 
 GO ?= go
 
-.PHONY: ci build test vet race soak crashsoak fuzz bench-service
+.PHONY: ci build test vet lint race build386 soak crashsoak fuzz bench-service
 
-ci: build test vet race
+ci: build test vet lint race build386
 
 # Tier-1 gate (ROADMAP.md): must stay green on every PR.
 build:
@@ -21,12 +22,25 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The repository's own analyzer suite: mixed atomic/plain field access,
+# blocking ops under a mutex, determinism-manifest violations, discarded
+# durability-path errors, 32-bit atomic alignment. Suppressions are
+# //lint:ignore <analyzer> <reason>; see README "Static analysis".
+lint:
+	$(GO) run ./cmd/ftlint ./...
+
 # The concurrency-critical packages run under the race detector on every PR:
 # the work-stealing runtime, the sharded map backing the task/recovery
 # tables, the multi-job service that multiplexes jobs onto one pool, and the
 # group-commit write-ahead log under it.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/...
+	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/...
+
+# Cross-compile smoke for 32-bit: pairs with the atomicalign analyzer —
+# the build proves the tree compiles where 64-bit atomics need 8-byte
+# alignment, the analyzer proves the alignment.
+build386:
+	GOOS=linux GOARCH=386 $(GO) build ./...
 
 # Randomized end-to-end soak (not part of ci; run before releases).
 soak:

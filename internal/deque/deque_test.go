@@ -1,6 +1,7 @@
 package deque
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -167,6 +168,98 @@ func TestNoLossNoDuplication(t *testing.T) {
 			t.Fatalf("element %d consumed %d times, want 1", i, c)
 		}
 	}
+}
+
+// TestMultiThiefStress runs GOMAXPROCS thieves against a bursty owner. The
+// owner pushes in waves and pops roughly half of each wave back, so the
+// deque repeatedly crosses the empty boundary and grows its ring — the two
+// regimes where the Chase-Lev top/bottom CAS race lives. After the last
+// wave the owner drains and the thieves race it for the tail. Every element
+// must be consumed exactly once, counting owner pops and per-thief steals.
+func TestMultiThiefStress(t *testing.T) {
+	thieves := runtime.GOMAXPROCS(0)
+	if thieves < 4 {
+		thieves = 4
+	}
+	const waves = 200
+	const perWave = 512
+	const total = waves * perWave
+
+	d := New[int64]()
+	vals := make([]int64, total)
+	seen := make([]atomic.Int32, total)
+	stolen := make([]int64, thieves) // each entry written by one thief only
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for {
+				if v := d.Steal(); v != nil {
+					seen[*v].Add(1)
+					stolen[th]++
+					continue // keep stealing while the deque is hot
+				}
+				select {
+				case <-stop:
+					for {
+						v := d.Steal()
+						if v == nil {
+							return
+						}
+						seen[*v].Add(1)
+						stolen[th]++
+					}
+				default:
+				}
+			}
+		}(th)
+	}
+
+	var popped int64
+	next := int64(0)
+	for w := 0; w < waves; w++ {
+		for i := 0; i < perWave; i++ {
+			vals[next] = next
+			d.PushBottom(&vals[next])
+			next++
+		}
+		for i := 0; i < perWave/2; i++ {
+			v := d.PopBottom()
+			if v == nil {
+				break // thieves beat us to the whole wave
+			}
+			seen[*v].Add(1)
+			popped++
+		}
+	}
+	for {
+		v := d.PopBottom()
+		if v == nil {
+			break
+		}
+		seen[*v].Add(1)
+		popped++
+	}
+	close(stop)
+	wg.Wait()
+
+	var total2 int64 = popped
+	for th := 0; th < thieves; th++ {
+		total2 += stolen[th]
+	}
+	if total2 != total {
+		t.Fatalf("consumed %d elements (owner %d + thieves %d), want %d",
+			total2, popped, total2-popped, total)
+	}
+	for i := 0; i < total; i++ {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("element %d consumed %d times, want 1", i, c)
+		}
+	}
+	t.Logf("owner popped %d; %d thieves stole %d", popped, thieves, total2-popped)
 }
 
 // TestQuickSequentialModel checks the deque against a simple slice model

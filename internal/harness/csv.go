@@ -23,16 +23,16 @@ func (h *Harness) writeCSV(name string, header []string, rows [][]string) error 
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write(header); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the write error is the one to surface
 		return err
 	}
 	if err := w.WriteAll(rows); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the write error is the one to surface
 		return err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; the flush error is the one to surface
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAlign checks 32-bit alignment of 64-bit atomics. On GOARCH=386 (and
+// arm, mips) the compiler only guarantees 4-byte alignment for int64/uint64
+// struct fields, but sync/atomic's 64-bit operations fault on addresses that
+// are not 8-byte aligned. A struct whose atomically-accessed int64 field
+// sits at offset 4 works everywhere amd64 is tested and panics in production
+// on a 32-bit build.
+//
+// The analyzer computes field offsets under GOARCH=386 for every named
+// struct whose int64/uint64 fields appear in the module-wide atomic-field
+// registry (populated by mixedatomic from sync/atomic call sites) and flags
+// any such field at a non-8-byte-aligned offset. Fields of type atomic.Int64
+// and friends are exempt: since Go 1.19 those types carry a compiler-
+// enforced 64-bit alignment guarantee on all platforms. `make ci` pairs this
+// with a GOARCH=386 build smoke test.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit fields accessed via sync/atomic must be 8-byte aligned on 32-bit platforms",
+	Run:  atomicAlignRun,
+}
+
+func atomicAlignRun(pass *Pass) {
+	sizes := types.SizesFor("gc", "386")
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.Pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				checkAlign(pass, ts, obj.Name(), st, sizes)
+			}
+		}
+	}
+}
+
+func checkAlign(pass *Pass, ts *ast.TypeSpec, typeName string, st *types.Struct, sizes types.Sizes) {
+	n := st.NumFields()
+	if n == 0 {
+		return
+	}
+	var atomic64 []int
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		f := st.Field(i)
+		fields[i] = f
+		b, ok := f.Type().Underlying().(*types.Basic)
+		if !ok || (b.Kind() != types.Int64 && b.Kind() != types.Uint64) {
+			continue
+		}
+		if f.Pkg() == nil {
+			continue
+		}
+		key := f.Pkg().Path() + "." + typeName + "." + f.Name()
+		if _, isAtomic := pass.Facts.AtomicFields[key]; isAtomic {
+			atomic64 = append(atomic64, i)
+		}
+	}
+	if len(atomic64) == 0 {
+		return
+	}
+	offsets := sizes.Offsetsof(fields)
+	for _, i := range atomic64 {
+		if offsets[i]%8 != 0 {
+			pass.Reportf(fieldPos(ts, fields[i].Name()), "64-bit atomic field %s.%s is at offset %d under GOARCH=386 (needs 8-byte alignment); move it to the front of the struct", typeName, fields[i].Name(), offsets[i])
+		}
+	}
+}
+
+// fieldPos locates the named field inside the type spec for reporting,
+// falling back to the spec itself.
+func fieldPos(ts *ast.TypeSpec, name string) token.Pos {
+	if stype, ok := ts.Type.(*ast.StructType); ok {
+		for _, f := range stype.Fields.List {
+			for _, id := range f.Names {
+				if id.Name == name {
+					return id.Pos()
+				}
+			}
+		}
+	}
+	return ts.Pos()
+}

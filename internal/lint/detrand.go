@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand enforces the determinism manifest. A package opts in by carrying a
+//
+//	//lint:deterministic <why this package must be deterministic>
+//
+// comment in any of its files (internal/fault's seeded fault selection,
+// internal/journal's crash-replay digests, and internal/harness's reference
+// runs are on the manifest). In such packages the analyzer flags:
+//
+//   - time.Now / time.Since — wall-clock values leaking into computation;
+//     thread an explicit timestamp or clock through the caller instead
+//   - the global math/rand functions (rand.Intn, rand.Shuffle, ...) —
+//     process-global, unseeded-by-default randomness; construct a local
+//     rand.New(rand.NewSource(seed)) instead (which is not flagged)
+//   - ranging over a map directly into an order-sensitive sink (a fmt
+//     print/format call, an io Write, or a channel send inside the loop
+//     body) — map iteration order is randomized per run; collect and sort
+//     the keys first (the collect-then-sort idiom is not flagged)
+var DetRand = &Analyzer{
+	Name:    "detrand",
+	Doc:     "packages on the determinism manifest must not use wall clocks, global rand, or ordered map iteration",
+	Collect: detRandCollect,
+	Run:     detRandRun,
+}
+
+// detRandCollect records which packages carry the //lint:deterministic
+// directive.
+func detRandCollect(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), "lint:deterministic") {
+					pass.Facts.Deterministic[pass.Pkg.Path] = true
+					return
+				}
+			}
+		}
+	}
+}
+
+// seededRandConstructors are the math/rand functions that are fine in a
+// deterministic package: they build an explicitly seeded local generator.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func detRandRun(pass *Pass) {
+	if !pass.Facts.Deterministic[pass.Pkg.Path] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				f := calleeFunc(info, n)
+				if f == nil || f.Pkg() == nil {
+					return true
+				}
+				if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods (e.g. (*rand.Rand).Intn) are seeded-local, fine
+				}
+				switch f.Pkg().Path() {
+				case "time":
+					if f.Name() == "Now" || f.Name() == "Since" {
+						pass.Reportf(n.Pos(), "time.%s in a deterministic package; thread an explicit timestamp or clock through the caller", f.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandConstructors[f.Name()] {
+						pass.Reportf(n.Pos(), "global rand.%s in a deterministic package; use a local rand.New(rand.NewSource(seed))", f.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						if sink := orderSensitiveSink(pass, n.Body); sink != "" {
+							pass.Reportf(n.For, "map iteration feeds an order-sensitive sink (%s); iterate a sorted key slice instead", sink)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitiveSink scans a map-range body for operations whose outcome
+// depends on iteration order: formatted printing, stream writes, channel
+// sends. Pure accumulation (counting, collect-then-sort) is order-safe and
+// not reported.
+func orderSensitiveSink(pass *Pass, body *ast.BlockStmt) string {
+	info := pass.Pkg.Info
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if f == nil {
+				return true
+			}
+			if f.Pkg() != nil && f.Pkg().Path() == "fmt" && strings.Contains(f.Name(), "rint") {
+				sink = "fmt." + f.Name()
+				return false
+			}
+			if strings.HasPrefix(f.Name(), "Write") {
+				if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+					sink = f.Name() + " on " + sig.Recv().Type().String()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}

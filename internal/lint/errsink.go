@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink flags discarded errors on the durability path. The journal's
+// crash-recovery guarantee ("an acknowledged submission survives a crash")
+// is only as strong as the weakest ignored fsync: an unchecked
+// (*os.File).Sync or Close silently downgrades durable to probably-durable.
+//
+// Scope is deliberately narrow to stay high-signal — only calls whose lost
+// error voids a durability or integrity guarantee:
+//
+//   - (*os.File).Sync and (*os.File).Close
+//   - (*journal.Journal).Append and Close
+//   - journal.DecodeRecord (a checksum verifier: ignoring its error means
+//     accepting a corrupt frame)
+//
+// A call is flagged when its error is discarded structurally: used as a
+// bare statement, or deferred (defer discards return values). Assigning the
+// error — including explicitly to the blank identifier, `_ = f.Close()` —
+// is the sanctioned way to record that a discard is deliberate.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "errors from durability-path calls (fsync, close, journal append, checksum decode) must not be discarded",
+	Run:  errSinkRun,
+}
+
+const journalPkg = "ftdag/internal/journal"
+
+// durabilityCall classifies a call on the durability path, returning a
+// human-readable description or "".
+func durabilityCall(info *types.Info, call *ast.CallExpr) string {
+	switch {
+	case isMethodOn(info, call, "os", "File", "Sync"):
+		return "(*os.File).Sync"
+	case isMethodOn(info, call, "os", "File", "Close"):
+		return "(*os.File).Close"
+	case isMethodOn(info, call, journalPkg, "Journal", "Append"):
+		return "(*journal.Journal).Append"
+	case isMethodOn(info, call, journalPkg, "Journal", "Close"):
+		return "(*journal.Journal).Close"
+	case isPkgFunc(info, call, journalPkg, "DecodeRecord"):
+		return "journal.DecodeRecord"
+	}
+	return ""
+}
+
+func errSinkRun(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if what := durabilityCall(info, call); what != "" {
+						pass.Reportf(call.Pos(), "error from %s is discarded on the durability path; handle it or assign it to _ explicitly", what)
+					}
+				}
+			case *ast.DeferStmt:
+				if what := durabilityCall(info, s.Call); what != "" {
+					pass.Reportf(s.Call.Pos(), "defer discards the error from %s; check it in a deferred closure or call it explicitly before returning", what)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: channel sends and receives, range-over-channel,
+// select without a default clause, sync.WaitGroup.Wait, time.Sleep, and
+// fsync-class file operations ((*os.File).Sync). Holding a lock across any
+// of these turns an ordinary stall into a lock-convoy or a deadlock — the
+// lock-held-across-group-commit hazard class in the journal and service
+// layers. sync.Cond.Wait is exempt: it requires the lock and releases it
+// while blocked.
+//
+// The analysis is per-function and source-ordered: Lock()/RLock() adds the
+// lock expression to the held set, Unlock()/RUnlock() removes it (including
+// early-unlock branches, which under-approximates and so never false-
+// positives on the hot "unlock early and return" idiom), and a deferred
+// unlock keeps the lock held to the end of the function. Function literals
+// are analyzed separately with an empty held set, so goroutines launched
+// under a lock are not charged with it. Where holding a lock across an
+// fsync is the design (the journal's group commit), suppress with a
+// reasoned //lint:ignore lockscope comment — that is the allowlist.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking operation (chan op, Wait, fsync, sleep) while a mutex is held",
+	Run:  lockScopeRun,
+}
+
+func lockScopeRun(pass *Pass) {
+	forEachFunc(pass.Pkg, func(fd *ast.FuncDecl) {
+		ls := &lockState{pass: pass, held: make(map[string]token.Pos)}
+		ls.stmts(fd.Body.List)
+	})
+	// Function literals get their own empty-held analysis.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				ls := &lockState{pass: pass, held: make(map[string]token.Pos)}
+				ls.stmts(fl.Body.List)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+type lockState struct {
+	pass *Pass
+	held map[string]token.Pos // lock expression -> Lock() position
+}
+
+// anyHeld returns one held lock's rendering, or "".
+func (ls *lockState) anyHeld() string {
+	for k := range ls.held {
+		return k
+	}
+	return ""
+}
+
+func (ls *lockState) reportBlocked(pos token.Pos, what string) {
+	if mu := ls.anyHeld(); mu != "" {
+		ls.pass.Reportf(pos, "%s while mutex %q is held (locked at %s)",
+			what, mu, ls.pass.Fset.Position(ls.held[mu]))
+	}
+}
+
+func (ls *lockState) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		ls.stmt(s)
+	}
+}
+
+func (ls *lockState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if ls.lockOp(call, false) {
+				return
+			}
+		}
+		ls.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held through the rest of the
+		// function, which is exactly what we want to model. Other deferred
+		// calls run at return, outside this linear scan.
+		ls.lockOp(s.Call, true)
+	case *ast.GoStmt:
+		// The goroutine body does not inherit the caller's locks; its
+		// FuncLit is analyzed separately.
+	case *ast.SendStmt:
+		ls.reportBlocked(s.Arrow, "channel send")
+		ls.expr(s.Chan)
+		ls.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ls.expr(e)
+		}
+		for _, e := range s.Lhs {
+			ls.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ls.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		ls.expr(s.Cond)
+		ls.stmts(s.Body.List)
+		if s.Else != nil {
+			ls.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			ls.expr(s.Cond)
+		}
+		ls.stmts(s.Body.List)
+		if s.Post != nil {
+			ls.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		if t := ls.pass.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				ls.reportBlocked(s.For, "range over channel")
+			}
+		}
+		ls.expr(s.X)
+		ls.stmts(s.Body.List)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			ls.reportBlocked(s.Select, "select without default")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				// Comm clauses contain chan ops by construction; the
+				// select itself was judged above. Scan only the bodies.
+				ls.stmts(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			ls.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		ls.stmts(s.List)
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						ls.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		ls.expr(s.X)
+	}
+}
+
+// lockOp handles mutex Lock/Unlock calls, updating the held set. It returns
+// true when the call was a lock operation. deferred unlocks leave the lock
+// held (held-to-end-of-function).
+func (ls *lockState) lockOp(call *ast.CallExpr, deferred bool) bool {
+	info := ls.pass.Pkg.Info
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	isMutex := isMethodOn(info, call, "sync", "Mutex", sel.Sel.Name) ||
+		isMethodOn(info, call, "sync", "RWMutex", sel.Sel.Name)
+	if !isMutex {
+		return false
+	}
+	name := types.ExprString(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		ls.held[name] = call.Pos()
+		return true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(ls.held, name)
+		}
+		return true
+	case "TryLock", "TryRLock":
+		ls.held[name] = call.Pos()
+		return true
+	}
+	return false
+}
+
+// expr scans an expression for blocking operations, without descending into
+// function literals.
+func (ls *lockState) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.reportBlocked(n.OpPos, "channel receive")
+			}
+		case *ast.CallExpr:
+			ls.blockingCall(n)
+		}
+		return true
+	})
+}
+
+// blockingCall reports calls that block by contract while a lock is held.
+func (ls *lockState) blockingCall(call *ast.CallExpr) {
+	if len(ls.held) == 0 {
+		return
+	}
+	info := ls.pass.Pkg.Info
+	switch {
+	case isMethodOn(info, call, "sync", "WaitGroup", "Wait"):
+		ls.reportBlocked(call.Pos(), "sync.WaitGroup.Wait")
+	case isMethodOn(info, call, "os", "File", "Sync"):
+		ls.reportBlocked(call.Pos(), "(*os.File).Sync (fsync)")
+	case isPkgFunc(info, call, "time", "Sleep"):
+		ls.reportBlocked(call.Pos(), "time.Sleep")
+		// sync.Cond.Wait is deliberately exempt: it must be called with
+		// the lock held and releases it while blocked.
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MixedAtomic flags struct fields that are accessed through sync/atomic
+// somewhere in the module but accessed plainly elsewhere. A single plain
+// load of an atomically-written field is a data race the race detector only
+// catches if a test happens to interleave it — and in this codebase it
+// silently voids a theorem (exactly-once join-counter decrement, at-most-once
+// recovery both rest on CAS protocols over such fields).
+//
+// The analyzer understands one level of module-internal wrapper functions
+// (e.g. internal/core's storeInt32 helper, which forwards its pointer
+// parameter into sync/atomic): a call to a wrapper with &x.f marks x.f
+// atomic, the same as a direct sync/atomic call. Composite-literal
+// initialization is allowed — construction happens before the value is
+// shared. Fields of type atomic.Int64 and friends need no checking: their
+// method-only API makes plain access impossible.
+var MixedAtomic = &Analyzer{
+	Name:    "mixedatomic",
+	Doc:     "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Collect: mixedAtomicCollect,
+	Run:     mixedAtomicRun,
+}
+
+// atomicPtrFunc reports whether the call is a sync/atomic operation taking
+// an address as its first argument (Load/Store/Add/Swap/CompareAndSwap over
+// the sized integer, uintptr and unsafe.Pointer variants).
+func atomicPtrFunc(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false // methods of atomic.Int64 etc. are type-safe
+	}
+	switch f.Name() {
+	case "AddInt32", "AddInt64", "AddUint32", "AddUint64", "AddUintptr",
+		"LoadInt32", "LoadInt64", "LoadUint32", "LoadUint64", "LoadUintptr", "LoadPointer",
+		"StoreInt32", "StoreInt64", "StoreUint32", "StoreUint64", "StoreUintptr", "StorePointer",
+		"SwapInt32", "SwapInt64", "SwapUint32", "SwapUint64", "SwapUintptr", "SwapPointer",
+		"CompareAndSwapInt32", "CompareAndSwapInt64", "CompareAndSwapUint32",
+		"CompareAndSwapUint64", "CompareAndSwapUintptr", "CompareAndSwapPointer":
+		return true
+	}
+	return false
+}
+
+// atomicArgIndices returns the argument positions of call that are treated
+// as atomically-accessed addresses: index 0 for sync/atomic functions, the
+// recorded pointer-parameter indices for known module-internal wrappers.
+func atomicArgIndices(pass *Pass, call *ast.CallExpr) []int {
+	if atomicPtrFunc(pass.Pkg.Info, call) {
+		return []int{0}
+	}
+	f := calleeFunc(pass.Pkg.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return pass.Facts.AtomicWrappers[f.Pkg().Path()+"."+f.Name()]
+}
+
+// addressedField returns the field selector in an &x.f argument, or nil.
+func addressedField(arg ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+func mixedAtomicCollect(pass *Pass) {
+	info := pass.Pkg.Info
+	pkgPath := pass.Pkg.Path
+
+	// Wrapper discovery: a top-level function whose pointer parameter is
+	// passed straight through as an atomic address (of sync/atomic or of an
+	// already-known wrapper). Iterate to a fixpoint so same-package wrapper
+	// chains resolve regardless of declaration order.
+	for changed := true; changed; {
+		changed = false
+		forEachFunc(pass.Pkg, func(fd *ast.FuncDecl) {
+			if fd.Recv != nil {
+				return
+			}
+			params := make(map[types.Object]int)
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						if _, ok := obj.Type().(*types.Pointer); ok {
+							params[obj] = i
+						}
+					}
+					i++
+				}
+			}
+			if len(params) == 0 {
+				return
+			}
+			key := pkgPath + "." + fd.Name.Name
+			have := make(map[int]bool)
+			for _, idx := range pass.Facts.AtomicWrappers[key] {
+				have[idx] = true
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, ai := range atomicArgIndices(pass, call) {
+					if ai >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[ai]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if pi, isParam := params[info.Uses[id]]; isParam && !have[pi] {
+						have[pi] = true
+						pass.Facts.AtomicWrappers[key] = append(pass.Facts.AtomicWrappers[key], pi)
+						changed = true
+					}
+				}
+				return true
+			})
+		})
+	}
+
+	// Field registration: &x.f in an atomic-address argument position marks
+	// the field as atomic module-wide.
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, ai := range atomicArgIndices(pass, call) {
+				if ai >= len(call.Args) {
+					continue
+				}
+				if sel := addressedField(call.Args[ai]); sel != nil {
+					if key, ok := fieldKey(pass.Pkg.Info, sel); ok {
+						if _, seen := pass.Facts.AtomicFields[key]; !seen {
+							pass.Facts.AtomicFields[key] = pass.Fset.Position(sel.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func mixedAtomicRun(pass *Pass) {
+	// Sanctioned selectors: field addresses feeding atomic operations.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, ai := range atomicArgIndices(pass, call) {
+				if ai >= len(call.Args) {
+					continue
+				}
+				if sel := addressedField(call.Args[ai]); sel != nil {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key, ok := fieldKey(pass.Pkg.Info, sel)
+			if !ok {
+				return true
+			}
+			if at, atomic := pass.Facts.AtomicFields[key]; atomic {
+				pass.Reportf(sel.Pos(), "plain access of %s, which is accessed via sync/atomic at %s; every access must be atomic", key, at)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,6 @@
+// Hostile input for the driver: a file that does not even parse.
+package badsyntax
+
+func missingBrace() {
+	if true {
+}

@@ -1,0 +1,11 @@
+// Hostile input for the driver: a package that does not type-check must
+// come back with LoadErrors populated — reported, never panicking.
+package broken
+
+func mismatch() int {
+	return "not an int"
+}
+
+func undefinedName() {
+	frobnicate(42)
+}

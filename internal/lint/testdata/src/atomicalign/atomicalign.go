@@ -1,0 +1,25 @@
+// Golden case for the atomicalign analyzer: an int64 field accessed via
+// sync/atomic must sit at an 8-byte-aligned offset under GOARCH=386.
+package atomicalign
+
+import "sync/atomic"
+
+type bad struct {
+	flag bool
+	n    int64 // want:atomicalign: 64-bit atomic field bad.n is at offset 4 under GOARCH=386
+}
+
+type good struct {
+	n    int64 // leading the struct: offset 0 on every GOARCH
+	flag bool
+}
+
+type unchecked struct {
+	flag bool
+	n    int64 // never accessed atomically: alignment is the compiler's business
+}
+
+func bumpBad(b *bad)   { atomic.AddInt64(&b.n, 1) }
+func bumpGood(g *good) { atomic.AddInt64(&g.n, 1) }
+
+func read(u *unchecked) int64 { return u.n }

@@ -1,0 +1,57 @@
+// Golden case for the detrand analyzer: this package opts into the
+// determinism manifest via the directive below, so wall clocks, global
+// rand, and ordered map iteration are findings; seeded local generators
+// and the collect-then-sort idiom are not.
+//
+//lint:deterministic golden case: result digests must be reproducible
+package detrand
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want:detrand: time.Now in a deterministic package
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want:detrand: time.Since in a deterministic package
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want:detrand: global rand.Intn in a deterministic package
+}
+
+func pickSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded local generator: allowed
+	return rng.Intn(n)
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want:detrand: map iteration feeds an order-sensitive sink
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func dumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m { // order-insensitive accumulation: allowed
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Golden case for the errsink analyzer: errors from durability-path
+// calls (fsync, close, journal append, checksum decode) must not be
+// discarded structurally; `_ =` is the sanctioned deliberate discard.
+package errsink
+
+import (
+	"os"
+
+	"ftdag/internal/journal"
+)
+
+func carelessClose(f *os.File) {
+	f.Close() // want:errsink: error from (*os.File).Close is discarded
+}
+
+func deferredSync(f *os.File) error {
+	defer f.Sync() // want:errsink: defer discards the error from (*os.File).Sync
+	_, err := f.WriteString("x")
+	return err
+}
+
+func lostAppend(j *journal.Journal, rec journal.Record) {
+	j.Append(rec) // want:errsink: error from (*journal.Journal).Append is discarded
+}
+
+func lostClose(j *journal.Journal) {
+	defer j.Close() // want:errsink: defer discards the error from (*journal.Journal).Close
+}
+
+func unverified(payload []byte) {
+	journal.DecodeRecord(payload) // want:errsink: error from journal.DecodeRecord is discarded
+}
+
+func deliberate(f *os.File) {
+	_ = f.Close() // explicit discard: allowed
+}
+
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

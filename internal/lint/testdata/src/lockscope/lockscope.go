@@ -1,0 +1,92 @@
+// Golden case for the lockscope analyzer: blocking operations while a
+// mutex is held are flagged; early unlock, select-with-default,
+// sync.Cond.Wait, and goroutine bodies are exempt.
+package lockscope
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	ch   chan int
+	wg   sync.WaitGroup
+	cond *sync.Cond
+}
+
+func (b *box) send(v int) {
+	b.mu.Lock()
+	b.ch <- v // want:lockscope: channel send while mutex "b.mu" is held
+	b.mu.Unlock()
+}
+
+func (b *box) recv() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want:lockscope: channel receive while mutex "b.mu" is held
+}
+
+func (b *box) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want:lockscope: sync.WaitGroup.Wait while mutex "b.mu" is held
+}
+
+func (b *box) nap() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want:lockscope: time.Sleep while mutex "b.mu" is held
+	b.mu.Unlock()
+}
+
+func (b *box) drain() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for v := range b.ch { // want:lockscope: range over channel while mutex "b.mu" is held
+		n += v
+	}
+	return n
+}
+
+func (b *box) block() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want:lockscope: select without default while mutex "b.mu" is held
+	case v := <-b.ch:
+		return v
+	}
+}
+
+func (b *box) poll() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // non-blocking poll: has a default clause, not flagged
+	case v := <-b.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func (b *box) condWait(ready func() bool) {
+	b.mu.Lock()
+	for !ready() {
+		b.cond.Wait() // exempt: Cond.Wait releases the lock while blocked
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) early(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- v // unlocked before the send: not flagged
+}
+
+func (b *box) spawn(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- v // goroutine body does not inherit the caller's lock
+	}()
+}

@@ -1,0 +1,35 @@
+// Golden case for the mixedatomic analyzer: a field accessed through
+// sync/atomic anywhere (directly or via a wrapper) must be accessed
+// atomically everywhere; composite-literal construction is exempt.
+package mixedatomic
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	done int32
+}
+
+// bump is a module-internal wrapper: its pointer parameter flows into
+// sync/atomic, so passing &x.f to it marks the field atomic.
+func bump(p *int32) { atomic.AddInt32(p, 1) }
+
+// bump2 chains through bump; wrapper discovery iterates to a fixpoint.
+func bump2(p *int32) { bump(p) }
+
+func (c *counter) record() {
+	atomic.AddInt64(&c.hits, 1)
+	bump2(&c.done)
+}
+
+func (c *counter) snapshot() int64 {
+	return c.hits // want:mixedatomic: plain access of mixedatomic.counter.hits
+}
+
+func (c *counter) reset() {
+	c.done = 0 // want:mixedatomic: plain access of mixedatomic.counter.done
+}
+
+func newCounter() *counter {
+	return &counter{hits: 0, done: 0} // construction before sharing: allowed
+}

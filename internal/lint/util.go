@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// typeIs reports whether t (after stripping one pointer level) is the named
+// type pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for conversions, builtins, and
+// indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether the call invokes the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isMethodOn reports whether the call invokes a method named name whose
+// receiver (after pointer stripping) is pkgPath.typeName.
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return typeIs(sig.Recv().Type(), pkgPath, typeName)
+}
+
+// fieldKey returns the cross-package identity of a struct field accessed by
+// the selector expression, as "pkgpath.StructType.field", and whether the
+// selector is a field access on a named struct type at all. String keys keep
+// identity stable across separately type-checked packages (the same field
+// seen from source and from export data is two distinct types.Object values).
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false // anonymous struct; no stable cross-package name
+	}
+	return field.Pkg().Path() + "." + named.Obj().Name() + "." + field.Name(), true
+}
+
+// forEachFunc invokes f for every function or method declaration with a body.
+func forEachFunc(pkg *Package, f func(decl *ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				f(fd)
+			}
+		}
+	}
+}
