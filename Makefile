@@ -5,10 +5,11 @@
 #   make race    — race-check the concurrency-critical packages
 #   make crashsoak — kill-and-restart soak of the durable journaled service
 #   make bench-service — record the service throughput baseline
+#   make benchobs — gate: disabled instrumentation must cost <= 2 ns/op
 
 GO ?= go
 
-.PHONY: ci build test vet lint race build386 soak crashsoak fuzz bench-service
+.PHONY: ci build test vet lint race build386 soak crashsoak fuzz bench-service benchobs
 
 ci: build test vet lint race build386
 
@@ -31,10 +32,11 @@ lint:
 
 # The concurrency-critical packages run under the race detector on every PR:
 # the work-stealing runtime, the sharded map backing the task/recovery
-# tables, the multi-job service that multiplexes jobs onto one pool, and the
-# group-commit write-ahead log under it.
+# tables, the multi-job service that multiplexes jobs onto one pool, the
+# group-commit write-ahead log under it, and the shared-mutation observability
+# primitives (metrics registry, trace ring).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/...
+	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/... ./internal/metrics/... ./internal/trace/...
 
 # Cross-compile smoke for 32-bit: pairs with the atomicalign analyzer —
 # the build proves the tree compiles where 64-bit atomics need 8-byte
@@ -63,3 +65,10 @@ fuzz:
 # Service throughput baseline (BENCH_service.json).
 bench-service:
 	$(GO) run ./cmd/ftserve -load 40 -workers 4 -maxjobs 4 -benchout BENCH_service.json
+
+# Observability-overhead gate (BENCH_metrics.json): the disabled
+# instrumentation hot path — one nil check per site — must stay under
+# 2 ns/op and allocation-free, or the target fails. Timing-based, so it is
+# not part of `ci`; run it when touching internal/metrics or call sites.
+benchobs:
+	$(GO) run ./cmd/ftmetrics -max-disabled-ns 2.0 -out BENCH_metrics.json

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ftdag/internal/graph"
+	"ftdag/internal/journal"
+	"ftdag/internal/metrics"
+	"ftdag/internal/service"
+)
+
+// newTestDaemon builds a daemon over an in-process service (durable when
+// dataDir is non-empty) and returns it with its production mux.
+func newTestDaemon(t *testing.T, dataDir string) (*daemon, *http.ServeMux) {
+	t.Helper()
+	var jr *journal.Journal
+	cfg := service.Config{Workers: 2, MaxConcurrentJobs: 2, Registry: metrics.NewRegistry()}
+	if dataDir != "" {
+		var err error
+		jr, err = journal.Open(journal.Options{Dir: dataDir, NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Journal = jr
+		cfg.Rebuild = rebuildJob
+	}
+	srv := service.New(cfg)
+	t.Cleanup(func() { srv.Close() })
+	d := &daemon{srv: srv, jr: jr, reg: cfg.Registry, started: time.Now()}
+	d.reg.GaugeFunc("ftdag_uptime_seconds", "x", func() float64 { return time.Since(d.started).Seconds() })
+	return d, d.newMux()
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+func TestHealthz(t *testing.T) {
+	_, mux := newTestDaemon(t, t.TempDir())
+	rr := get(t, mux, "/healthz")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", rr.Code)
+	}
+	var resp struct {
+		Status    string         `json:"status"`
+		UptimeSec float64        `json:"uptime_sec"`
+		Workers   int            `json:"workers"`
+		Durable   bool           `json:"durable"`
+		Journal   *journal.Stats `json:"journal"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.Workers != 2 || !resp.Durable || resp.Journal == nil {
+		t.Fatalf("healthz = %+v", resp)
+	}
+	if resp.UptimeSec < 0 {
+		t.Fatalf("negative uptime %v", resp.UptimeSec)
+	}
+}
+
+func TestWrongMethodGets405WithAllow(t *testing.T) {
+	_, mux := newTestDaemon(t, "")
+	cases := []struct {
+		method, path, wantAllow string
+	}{
+		{http.MethodPost, "/healthz", "GET, HEAD"},
+		{http.MethodPut, "/metrics", "GET, HEAD"},
+		{http.MethodDelete, "/jobs", "GET, HEAD, POST"},
+		{http.MethodGet, "/jobs/1/cancel", "POST"},
+		{http.MethodPost, "/debug/jobs", "GET, HEAD"},
+	}
+	for _, c := range cases {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest(c.method, c.path, nil))
+		if rr.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.path, rr.Code)
+			continue
+		}
+		if got := rr.Header().Get("Allow"); got != c.wantAllow {
+			t.Errorf("%s %s Allow = %q, want %q", c.method, c.path, got, c.wantAllow)
+		}
+	}
+}
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	d, mux := newTestDaemon(t, t.TempDir())
+	// Run one faulty job to completion so the counters have moved.
+	spec, err := buildJob(jobRequest{
+		Synthetic: &syntheticRequest{Layers: 3, Width: 4, MaxIn: 2, Seed: 7},
+		Faults:    &faultRequest{Count: 2, Point: "after-compute", Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rr := get(t, mux, "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != metrics.TextContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE ftdag_tasks_computed_total counter",
+		"# TYPE ftdag_recoveries_total counter",
+		"# TYPE ftdag_steals_total counter",
+		"# TYPE ftdag_compute_latency_seconds histogram",
+		"ftdag_compute_latency_seconds_count",
+		"# TYPE ftdag_journal_fsyncs_total counter",
+		"# TYPE ftdag_journal_fsync_batch histogram",
+		"ftdag_jobs_succeeded_total 1",
+		"ftdag_uptime_seconds",
+		`ftdag_worker_busy_seconds_total{worker="0"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The faulty run must show computed tasks and the fired recoveries.
+	if v, ok := d.reg.Value("ftdag_tasks_computed_total"); !ok || v < 13 { // 3*4+1 tasks minimum
+		t.Fatalf("ftdag_tasks_computed_total = %v, %v", v, ok)
+	}
+	rec, _ := d.reg.Value("ftdag_recoveries_total")
+	inj, _ := d.reg.Value("ftdag_injections_fired_total")
+	if inj == 0 || rec == 0 {
+		t.Fatalf("faulty run moved no recovery counters: injections=%v recoveries=%v", inj, rec)
+	}
+}
+
+func TestDebugJobsLiveProgress(t *testing.T) {
+	d, mux := newTestDaemon(t, "")
+	gate := make(chan struct{})
+	spec := graph.Chain(3, func(key graph.Key, vals [][]float64) []float64 {
+		if key == 1 {
+			<-gate
+		}
+		return []float64{float64(key)}
+	})
+	h, err := d.srv.Submit(service.JobSpec{Name: "blocking-chain", Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll /debug/jobs until the running job shows live mid-run progress:
+	// discovered tasks and a live metrics snapshot with the first compute.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var jobs []struct {
+			State   string `json:"state"`
+			Tasks   int    `json:"tasks"`
+			Metrics *struct {
+				Computes int64
+			} `json:"metrics"`
+		}
+		rr := get(t, mux, "/debug/jobs")
+		if err := json.Unmarshal(rr.Body.Bytes(), &jobs); err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) == 1 && jobs[0].State == "running" &&
+			jobs[0].Tasks > 0 && jobs[0].Metrics != nil && jobs[0].Metrics.Computes >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			close(gate)
+			t.Fatalf("no live progress before deadline: %s", rr.Body.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(gate)
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Terminal state keeps the final result and gains derived throughput.
+	var jobs []debugJob
+	if err := json.Unmarshal(get(t, mux, "/debug/jobs").Body.Bytes(), &jobs); err == nil {
+		if len(jobs) != 1 || jobs[0].Tasks != 3 {
+			t.Fatalf("final /debug/jobs = %+v", jobs)
+		}
+		if jobs[0].TasksPerSec <= 0 {
+			t.Fatalf("tasks_per_sec = %v, want > 0", jobs[0].TasksPerSec)
+		}
+	}
+}
+
+func TestDebugTraceAlias(t *testing.T) {
+	d, mux := newTestDaemon(t, "")
+	spec, err := buildJob(jobRequest{
+		Synthetic:     &syntheticRequest{Layers: 2, Width: 2, MaxIn: 1, Seed: 5},
+		TraceCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.srv.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rr := get(t, mux, "/debug/trace/1")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /debug/trace/1 = %d: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), "traceEvents") {
+		t.Fatalf("trace body missing traceEvents: %.200s", rr.Body.String())
+	}
+}

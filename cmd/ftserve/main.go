@@ -17,12 +17,20 @@
 // Endpoints:
 //
 //	POST /jobs              submit a job (named app kernel or synthetic DAG)
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         one job's status (metrics once finished)
+//	GET  /jobs              list all jobs (running jobs show live progress)
+//	GET  /jobs/{id}         one job's status (live while running)
 //	POST /jobs/{id}/cancel  cancel a queued or running job
 //	GET  /jobs/{id}/trace   the job's lifecycle as a Chrome/Perfetto trace
-//	GET  /metrics           scheduler stats, recovery totals, queue depths
-//	GET  /healthz           liveness
+//	GET  /metrics           Prometheus text exposition (scheduler, executor,
+//	                        block store, journal, and service families)
+//	GET  /debug/state       the full JSON state snapshot (queue depths,
+//	                        scheduler stats, aggregated recovery totals)
+//	GET  /debug/jobs        live per-job progress with derived throughput
+//	GET  /debug/trace/{id}  alias of /jobs/{id}/trace
+//	GET  /healthz           liveness: uptime, worker count, journal status
+//
+// With -debug-addr a second listener serves net/http/pprof (profiles,
+// goroutine dumps) without exposing them on the public address.
 //
 // A submission body names either a benchmark app or a synthetic DAG:
 //
@@ -46,6 +54,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (the -debug-addr listener)
 	"os"
 	"os/signal"
 	"strconv"
@@ -59,6 +68,7 @@ import (
 	"ftdag/internal/graph"
 	"ftdag/internal/harness"
 	"ftdag/internal/journal"
+	"ftdag/internal/metrics"
 	"ftdag/internal/service"
 )
 
@@ -68,8 +78,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "shared pool size (0: GOMAXPROCS)")
 		maxJobs  = flag.Int("maxjobs", 4, "max concurrently executing jobs")
 		queue    = flag.Int("queue", 64, "admission queue capacity")
-		dataDir  = flag.String("data-dir", "", "journal directory for durable jobs (empty: in-memory only)")
-		grace    = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+		dataDir   = flag.String("data-dir", "", "journal directory for durable jobs (empty: in-memory only)")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget for in-flight jobs")
 		load     = flag.Int("load", 0, "load-generator mode: drive N jobs in-process and exit")
 		loadSize = flag.String("loadsize", "quick", "load-mode problem sizes: quick or bench")
 		benchOut = flag.String("benchout", "BENCH_service.json", "load-mode results file (empty: stdout only)")
@@ -111,18 +122,23 @@ func main() {
 		cfg.Rebuild = rebuildJob
 	}
 
+	reg := metrics.NewRegistry()
+	cfg.Registry = reg
 	srv := service.New(cfg)
-	d := &daemon{srv: srv, jr: jr, started: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", d.submit)
-	mux.HandleFunc("GET /jobs", d.list)
-	mux.HandleFunc("GET /jobs/{id}", d.status)
-	mux.HandleFunc("POST /jobs/{id}/cancel", d.cancel)
-	mux.HandleFunc("GET /jobs/{id}/trace", d.trace)
-	mux.HandleFunc("GET /metrics", d.metrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	d := &daemon{srv: srv, jr: jr, reg: reg, started: time.Now()}
+	reg.GaugeFunc("ftdag_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(d.started).Seconds() })
+	mux := d.newMux()
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("ftserve: pprof debug server on %s", *debugAddr)
+			// nil handler = DefaultServeMux, which net/http/pprof
+			// populated at import.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("ftserve: debug server: %v", err)
+			}
+		}()
+	}
 	log.Printf("ftserve: serving on %s (workers=%d maxjobs=%d queue=%d durable=%v)",
 		*addr, srv.Config().Workers, srv.Config().MaxConcurrentJobs, srv.Config().MaxQueuedJobs, jr != nil)
 
@@ -154,7 +170,26 @@ func main() {
 type daemon struct {
 	srv     *service.Server
 	jr      *journal.Journal // nil without -data-dir
+	reg     *metrics.Registry
 	started time.Time
+}
+
+// newMux builds the daemon's route table. Method-qualified patterns make the
+// mux answer wrong-method requests with 405 and an Allow header for free.
+// Factored out so httptest can exercise the exact production routing.
+func (d *daemon) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.submit)
+	mux.HandleFunc("GET /jobs", d.list)
+	mux.HandleFunc("GET /jobs/{id}", d.status)
+	mux.HandleFunc("POST /jobs/{id}/cancel", d.cancel)
+	mux.HandleFunc("GET /jobs/{id}/trace", d.trace)
+	mux.HandleFunc("GET /metrics", d.metrics)
+	mux.HandleFunc("GET /debug/state", d.debugState)
+	mux.HandleFunc("GET /debug/jobs", d.debugJobs)
+	mux.HandleFunc("GET /debug/trace/{id}", d.trace)
+	mux.HandleFunc("GET /healthz", d.healthz)
+	return mux
 }
 
 // jobRequest is the submission body.
@@ -409,7 +444,17 @@ func (d *daemon) trace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// metrics serves the registry in Prometheus text exposition format.
 func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	if err := d.reg.WritePrometheus(w); err != nil {
+		log.Printf("ftserve: writing metrics: %v", err)
+	}
+}
+
+// debugState is the full JSON state snapshot (the pre-Prometheus /metrics
+// payload): queue depths, scheduler stats, aggregated recovery totals.
+func (d *daemon) debugState(w http.ResponseWriter, r *http.Request) {
 	snap := d.srv.Snapshot()
 	var js *journal.Stats
 	if d.jr != nil {
@@ -421,6 +466,45 @@ func (d *daemon) metrics(w http.ResponseWriter, r *http.Request) {
 		service.Snapshot
 		Journal *journal.Stats `json:"journal,omitempty"`
 	}{time.Since(d.started).Seconds(), snap, js})
+}
+
+// debugJob decorates a job status with throughput derived from its metrics —
+// live mid-run numbers for running jobs, final numbers once terminal.
+type debugJob struct {
+	service.Status
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+}
+
+func (d *daemon) debugJobs(w http.ResponseWriter, r *http.Request) {
+	sts := d.srv.Jobs()
+	out := make([]debugJob, len(sts))
+	for i, st := range sts {
+		out[i] = debugJob{Status: st}
+		if st.Metrics != nil && st.ElapsedMS > 0 {
+			out[i].TasksPerSec = float64(st.Metrics.Computes) / (st.ElapsedMS / 1000)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Status    string         `json:"status"`
+		UptimeSec float64        `json:"uptime_sec"`
+		Workers   int            `json:"workers"`
+		Durable   bool           `json:"durable"`
+		Journal   *journal.Stats `json:"journal,omitempty"`
+	}{
+		Status:    "ok",
+		UptimeSec: time.Since(d.started).Seconds(),
+		Workers:   d.srv.Config().Workers,
+		Durable:   d.jr != nil,
+	}
+	if d.jr != nil {
+		s := d.jr.Stats()
+		resp.Journal = &s
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"ftdag/internal/cmap"
+	"ftdag/internal/metrics"
 )
 
 // ID identifies a logical data block (e.g. one tile of a matrix).
@@ -87,10 +88,30 @@ type Stats struct {
 	BytesRetained int64 // high-water mark of retained float64 payload bytes
 }
 
+// Instruments is the store-layer metrics bundle. One bundle is shared by
+// every store wired to the same registry (stores are per-job; the counters
+// aggregate), so it is passed in via WithInstruments rather than registered
+// per store. A nil bundle disables instrumentation at the cost of one
+// pointer check per event.
+type Instruments struct {
+	// Evictions counts versions physically evicted by the retention ring —
+	// the overwrites that force the paper's re-execution chains.
+	Evictions *metrics.Counter
+	// CorruptReads counts reads that observed the poisoned flag (the
+	// paper's detection model); ChecksumFailures counts reads failing
+	// checksum verification (WithVerification stores only).
+	CorruptReads     *metrics.Counter
+	ChecksumFailures *metrics.Counter
+}
+
+// WithInstruments attaches a (possibly shared) instrument bundle.
+func WithInstruments(ins *Instruments) Option { return func(s *Store) { s.ins = ins } }
+
 // Store is a concurrent versioned block store.
 type Store struct {
 	retention int // K; 0 = unlimited
 	verify    bool
+	ins       *Instruments
 	slots     *cmap.Map[*slot]
 
 	writes       atomic.Int64
@@ -162,6 +183,9 @@ func (s *Store) Write(b ID, version int, producer int64, data []float64) (evicte
 			victim := sl.entries[0]
 			sl.entries = sl.entries[1:]
 			s.evictions.Add(1)
+			if s.ins != nil {
+				s.ins.Evictions.Inc()
+			}
 			delta -= int64(len(victim.data))
 			evictedProducers = append(evictedProducers, victim.producer)
 		}
@@ -206,10 +230,16 @@ func (s *Store) Read(b ID, version int) ([]float64, error) {
 	}
 	if e.corrupted.Load() {
 		s.corruptReads.Add(1)
+		if s.ins != nil {
+			s.ins.CorruptReads.Inc()
+		}
 		return nil, &AccessError{Ref: Ref{b, version}, Err: ErrCorrupted}
 	}
 	if s.verify && checksum(e.data) != e.checksum {
 		s.corruptReads.Add(1)
+		if s.ins != nil {
+			s.ins.ChecksumFailures.Inc()
+		}
 		return nil, &AccessError{Ref: Ref{b, version}, Err: ErrCorrupted}
 	}
 	return e.data, nil

@@ -44,6 +44,10 @@ type Config struct {
 	// Trace, when non-nil, records the executor's event stream
 	// (computes, faults, recoveries, resets) for post-mortem analysis.
 	Trace *trace.Log
+	// Instruments, when non-nil, is the shared metrics bundle
+	// (NewInstruments) this run aggregates into. Nil disables metric
+	// collection at a cost of one pointer check per instrumentation site.
+	Instruments *Instruments
 }
 
 func (c Config) workers() int {
@@ -54,10 +58,14 @@ func (c Config) workers() int {
 }
 
 func (c Config) newStore() *block.Store {
+	var opts []block.Option
 	if c.VerifyChecksums {
-		return block.NewStore(c.Retention, block.WithVerification())
+		opts = append(opts, block.WithVerification())
 	}
-	return block.NewStore(c.Retention)
+	if c.Instruments != nil {
+		opts = append(opts, block.WithInstruments(c.Instruments.Block))
+	}
+	return block.NewStore(c.Retention, opts...)
 }
 
 // ErrHung reports that the scheduler drained without completing the sink —
@@ -101,6 +109,15 @@ func NewFT(spec graph.Spec, cfg Config) *FT {
 
 // Store exposes the block store (result extraction, verification).
 func (e *FT) Store() *block.Store { return e.store }
+
+// LiveMetrics snapshots the executor's counters mid-run. Safe to call
+// concurrently with the execution (the counters are atomics); serves the
+// live-introspection endpoints.
+func (e *FT) LiveMetrics() Metrics { return e.met.snapshot() }
+
+// TasksDiscovered returns the number of task descriptors inserted so far —
+// a live progress indicator that converges on the graph's task count.
+func (e *FT) TasksDiscovered() int { return e.tasks.Len() }
 
 // TaskStatus returns the status of the current incarnation of key.
 func (e *FT) TaskStatus(key graph.Key) (Status, bool) {
@@ -276,6 +293,9 @@ func (e *FT) notifyOnce(w *sched.Worker, t *Task, pkey graph.Key) {
 			return nil
 		}
 		e.met.notifications.Add(1)
+		if ins := e.cfg.Instruments; ins != nil {
+			ins.Notifications.Inc()
+		}
 		e.cfg.Trace.Emit(trace.Notify, t.key, t.life, pkey)
 		if t.join.Add(-1) == 0 {
 			e.computeAndNotify(w, t)
@@ -318,10 +338,23 @@ func (e *FT) computeAndNotify(w *sched.Worker, t *Task) {
 		}
 		e.cfg.Trace.Emit(trace.ComputeStart, t.key, t.life, 0)
 		e.met.computes.Add(1)
+		ins := e.cfg.Instruments
+		var computeStart time.Time
+		if ins != nil {
+			ins.TasksComputed.Inc()
+			computeStart = time.Now()
+		}
 		ctx := &ftCtx{e: e, t: t}
 		if err := e.spec.Compute(ctx, t.key); err != nil {
 			e.met.computeErrors.Add(1)
+			if ins != nil {
+				ins.ComputeLatency.ObserveSince(computeStart)
+				ins.ComputeErrors.Inc()
+			}
 			return err
+		}
+		if ins != nil {
+			ins.ComputeLatency.ObserveSince(computeStart)
 		}
 		if !ctx.wrote {
 			panic(fmt.Sprintf("core: task %d computed without writing its output", t.key))
@@ -402,6 +435,9 @@ func (e *FT) inject(t *Task, withBlock bool) {
 		e.store.Corrupt(ref.Block, ref.Version)
 	}
 	e.met.injections.Add(1)
+	if ins := e.cfg.Instruments; ins != nil {
+		ins.InjectionsFired.Inc()
+	}
 }
 
 // recoverFromError routes a caught *fault.Error to recovery of the task it
@@ -450,6 +486,11 @@ func (e *FT) recoverTask(w *sched.Worker, key graph.Key) {
 			h(key, t.life)
 		}
 		e.cfg.Trace.Emit(trace.RecoverStart, key, t.life, 0)
+		ins := e.cfg.Instruments
+		var recStart time.Time
+		if ins != nil {
+			recStart = time.Now()
+		}
 		err := func() error { // try
 			for _, skey := range e.spec.Successors(key) {
 				s, ok := e.tasks.Load(skey)
@@ -463,6 +504,9 @@ func (e *FT) recoverTask(w *sched.Worker, key graph.Key) {
 			e.spawn(w, func(w *sched.Worker) { e.initAndCompute(w, t) })
 			return nil
 		}()
+		if ins != nil {
+			ins.RecoveryLatency.ObserveSince(recStart)
+		}
 		if err == nil {
 			return
 		}
@@ -489,6 +533,9 @@ func (e *FT) replaceTask(key graph.Key) *Task {
 		return nt
 	})
 	e.met.recoveries.Add(1)
+	if ins := e.cfg.Instruments; ins != nil {
+		ins.Recoveries.Inc()
+	}
 	return nt
 }
 
@@ -535,6 +582,9 @@ func (e *FT) reinitNotifyEntry(w *sched.Worker, t *Task, s *Task) error {
 // notification cannot decrement a counter that is about to be overwritten.
 func (e *FT) resetNode(w *sched.Worker, t *Task) {
 	e.met.resets.Add(1)
+	if ins := e.cfg.Instruments; ins != nil {
+		ins.Resets.Inc()
+	}
 	if h := e.cfg.Hooks.OnReset; h != nil {
 		h(t.key, t.life)
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"ftdag/internal/block"
+	obs "ftdag/internal/metrics" // aliased: core's own run-snapshot struct is named metrics
+)
+
+// Instruments is the executor-layer metrics bundle: the always-on
+// observability counterpart of the per-run Metrics snapshot. One bundle is
+// shared by every concurrent execution wired to the same registry (the
+// service passes one to all jobs), so the counters aggregate across runs.
+//
+// Hot paths guard each instrumentation block with a single nil check on the
+// bundle — the disabled configuration (nil registry → nil bundle) costs
+// ≤ 2 ns per task, enforced by the internal/metrics benchmark gate.
+type Instruments struct {
+	// TasksComputed counts user compute invocations (Σ_A N(A));
+	// ComputeErrors those that observed a fault. ComputeLatency is the
+	// latency distribution of the user compute function itself.
+	TasksComputed  *obs.Counter
+	ComputeErrors  *obs.Counter
+	ComputeLatency *obs.Histogram
+	// Recoveries counts task replacements (one per recovered incarnation);
+	// RecoveryLatency is the duration of each incarnation's recovery
+	// (REPLACETASK through notify-array reconstruction and re-spawn).
+	Recoveries      *obs.Counter
+	RecoveryLatency *obs.Histogram
+	// Resets counts RESETNODE invocations (notify-array resets after a
+	// predecessor failure surfaced mid-compute); Notifications counts
+	// join-counter decrements that won their bit; InjectionsFired counts
+	// faults actually injected.
+	Resets          *obs.Counter
+	Notifications   *obs.Counter
+	InjectionsFired *obs.Counter
+	// Block instruments the executors' block stores (shared bundle).
+	Block *block.Instruments
+}
+
+// NewInstruments registers the executor metric families on r and returns the
+// bundle to place in Config.Instruments. Returns nil on a nil registry (the
+// disabled configuration). Call once per registry; pass the same bundle to
+// every execution that should aggregate into it.
+func NewInstruments(r *obs.Registry) *Instruments {
+	if r == nil {
+		return nil
+	}
+	return &Instruments{
+		TasksComputed:  r.Counter("ftdag_tasks_computed_total", "User compute invocations, including those aborted by an injected fault."),
+		ComputeErrors:  r.Counter("ftdag_compute_errors_total", "Compute invocations that observed a fault in themselves or a predecessor."),
+		ComputeLatency: r.Histogram("ftdag_compute_latency_seconds", "Latency of the user compute function."),
+		Recoveries:     r.Counter("ftdag_recoveries_total", "Task replacements: recovery initiations that won the at-most-once race."),
+		RecoveryLatency: r.Histogram("ftdag_recovery_latency_seconds",
+			"Duration of one incarnation's recovery: descriptor replacement, notify-array reconstruction, re-spawn."),
+		Resets:          r.Counter("ftdag_resets_total", "Notify-array resets after a predecessor failure surfaced mid-compute."),
+		Notifications:   r.Counter("ftdag_notifications_total", "Join-counter decrements that won their notification bit."),
+		InjectionsFired: r.Counter("ftdag_injections_fired_total", "Fault injections actually fired."),
+		Block: &block.Instruments{
+			Evictions:        r.Counter("ftdag_block_evictions_total", "Block versions evicted by the retention ring."),
+			CorruptReads:     r.Counter("ftdag_block_corrupt_reads_total", "Reads that observed the poisoned flag."),
+			ChecksumFailures: r.Counter("ftdag_block_checksum_failures_total", "Reads that failed checksum verification."),
+		},
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -106,6 +107,8 @@ type Journal struct {
 	syncMu    sync.Mutex // serializes fsync batches; held across rotation
 	syncedSeq uint64
 	syncErr   error
+
+	obs atomic.Pointer[journalObs] // instrument bundle; nil until Observe
 
 	stats struct {
 		sync.Mutex
@@ -392,6 +395,11 @@ func (j *Journal) writeSnapshot(st *State, seq uint64) error {
 // before Append returns. Rotation and snapshotting happen inline when the
 // segment crosses the size threshold.
 func (j *Journal) Append(rec Record) error {
+	o := j.obs.Load()
+	var appendStart time.Time
+	if o != nil {
+		appendStart = o.appendLat.Start()
+	}
 	if rec.Time.IsZero() {
 		//lint:ignore detrand record timestamps are observability metadata; replay folds state from record kinds and payloads, never from Time
 		rec.Time = time.Now()
@@ -423,6 +431,10 @@ func (j *Journal) Append(rec Record) error {
 	if err := j.syncTo(ticket); err != nil {
 		return err
 	}
+	if o != nil {
+		// Measured here: the record is durable; rotation is housekeeping.
+		o.appendLat.ObserveSince(appendStart)
+	}
 	if needRotate {
 		j.rotate()
 	}
@@ -449,12 +461,16 @@ func (j *Journal) syncTo(ticket uint64) error {
 	if closed {
 		return ErrClosed
 	}
+	batch := int64(cur - j.syncedSeq)
 	//lint:ignore lockscope group commit by design: the fsync under syncMu is the batching point every concurrent appender shares
 	err := f.Sync()
 	j.syncedSeq, j.syncErr = cur, err
 	j.stats.Lock()
 	j.stats.Fsyncs++
 	j.stats.Unlock()
+	if o := j.obs.Load(); o != nil {
+		o.fsyncBatch.Observe(batch)
+	}
 	return err
 }
 

@@ -1,0 +1,45 @@
+package journal
+
+import (
+	"ftdag/internal/metrics"
+)
+
+// journalObs is the journal's instrument bundle, attached after Open via an
+// atomic pointer so in-flight appenders observe it race-free. The clock
+// reads go through Histogram.Start/ObserveSince so this package itself stays
+// wall-clock-free (it is on the determinism manifest; record timestamps are
+// the one exempted use).
+type journalObs struct {
+	appendLat  *metrics.Histogram // full append latency, group commit included
+	fsyncBatch *metrics.Histogram // records covered per fsync
+}
+
+// Observe registers the journal's metrics on r and enables append-latency
+// and fsync-batch sampling. The counters the journal already keeps (appends,
+// fsyncs, rotations, snapshots, replay/truncation totals) are exported as
+// scrape-time functions over Stats — no added hot-path cost. Call at most
+// once per journal; a nil registry leaves it unobserved.
+func (j *Journal) Observe(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("ftdag_journal_appends_total", "Records appended this process.",
+		func() float64 { return float64(j.Stats().Appends) })
+	r.CounterFunc("ftdag_journal_fsyncs_total", "File syncs issued for appends; fewer than appends shows group commit.",
+		func() float64 { return float64(j.Stats().Fsyncs) })
+	r.CounterFunc("ftdag_journal_rotations_total", "Segment rolls.",
+		func() float64 { return float64(j.Stats().Rotations) })
+	r.CounterFunc("ftdag_journal_snapshots_total", "Snapshot writes.",
+		func() float64 { return float64(j.Stats().Snapshots) })
+	r.GaugeFunc("ftdag_journal_segment", "Current segment sequence number.",
+		func() float64 { return float64(j.Stats().Segment) })
+	r.GaugeFunc("ftdag_journal_truncated_bytes", "Torn-tail bytes discarded at open.",
+		func() float64 { return float64(j.Stats().TruncatedBytes) })
+	r.GaugeFunc("ftdag_journal_replayed_records", "Records folded into state at open.",
+		func() float64 { return float64(j.Stats().ReplayedRecords) })
+	o := &journalObs{
+		appendLat:  r.Histogram("ftdag_journal_append_seconds", "Append latency including the shared group-commit fsync."),
+		fsyncBatch: r.ValueHistogram("ftdag_journal_fsync_batch", "Records covered per fsync (group-commit batch size)."),
+	}
+	j.obs.Store(o)
+}

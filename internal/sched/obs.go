@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"strconv"
+
+	"ftdag/internal/metrics"
+)
+
+// poolObs is the pool's instrument bundle. It is attached after construction
+// via Observe through an atomic pointer so already-running workers pick it up
+// without a race; a nil bundle (observability off) costs each hot path one
+// predicted pointer check.
+type poolObs struct {
+	stealLat  *metrics.Histogram // successful-steal latency (findWork entry → steal)
+	queueWait *metrics.Histogram // injector queue wait (enqueue → pickup)
+}
+
+// Observe registers the pool's scheduler metrics on r and enables latency
+// sampling on the hot paths. Totals the workers already count (jobs, steals,
+// failed steals, injector hits, idle time) are exported as scrape-time
+// functions over the existing per-worker atomics — zero added hot-path cost —
+// while steal latency and injector queue wait gain histograms. Call at most
+// once per pool; a nil registry leaves the pool unobserved.
+func (p *Pool) Observe(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("ftdag_sched_jobs_total", "Jobs executed by the pool.",
+		func() float64 { return float64(p.StatsSnapshot().Jobs) })
+	r.CounterFunc("ftdag_sched_spawns_total", "Jobs pushed by running jobs.",
+		func() float64 { return float64(p.StatsSnapshot().Spawns) })
+	r.CounterFunc("ftdag_steals_total", "Successful deque steals.",
+		func() float64 { return float64(p.StatsSnapshot().Steals) })
+	r.CounterFunc("ftdag_failed_steals_total", "Steal attempts that found nothing or lost a race.",
+		func() float64 { return float64(p.StatsSnapshot().FailedSteals) })
+	r.CounterFunc("ftdag_injector_hits_total", "Jobs taken from the external submission queue.",
+		func() float64 { return float64(p.StatsSnapshot().InjectorHits) })
+	r.GaugeFunc("ftdag_sched_workers", "Workers in the pool.",
+		func() float64 { return float64(len(p.workers)) })
+	r.GaugeFunc("ftdag_injector_depth", "Jobs waiting in the external submission queue.",
+		func() float64 { return float64(p.injLen.Load()) })
+	for _, w := range p.workers {
+		w := w
+		id := strconv.Itoa(w.id)
+		r.CounterFunc("ftdag_worker_busy_seconds_total", "Time the worker spent executing jobs.",
+			func() float64 { return float64(w.stats.busyNanos.Load()) / 1e9 }, "worker", id)
+		r.CounterFunc("ftdag_worker_idle_seconds_total", "Time the worker spent backing off with no work.",
+			func() float64 { return float64(w.stats.idleNanos.Load()) / 1e9 }, "worker", id)
+	}
+	o := &poolObs{
+		stealLat:  r.Histogram("ftdag_steal_latency_seconds", "Latency of successful steals (work search start to steal)."),
+		queueWait: r.Histogram("ftdag_queue_wait_seconds", "Wait of externally submitted jobs in the injector queue."),
+	}
+	p.obs.Store(o)
+}

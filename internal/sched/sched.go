@@ -34,6 +34,7 @@ type Stats struct {
 	FailedSteals int64         // steal attempts that found nothing or lost a race
 	InjectorHits int64         // jobs taken from the external submission queue
 	IdleTime     time.Duration // total time workers spent backing off
+	BusyTime     time.Duration // total time workers spent executing jobs (observed pools only)
 }
 
 func (s Stats) String() string {
@@ -75,6 +76,7 @@ type counters struct {
 	failedSteals atomic.Int64
 	injectorHits atomic.Int64
 	idleNanos    atomic.Int64
+	busyNanos    atomic.Int64 // job execution time; sampled only on observed pools
 }
 
 // Worker is one scheduling thread of a Pool.
@@ -100,13 +102,18 @@ func (w *Worker) Spawn(f Func) {
 	w.pool.pending.Add(1)
 	w.stats.spawns.Add(1)
 	if w.pool.policy == CentralQueue {
-		w.pool.injMu.Lock()
-		w.pool.inj = append(w.pool.inj, &f)
-		w.pool.injLen.Store(int64(len(w.pool.inj)))
-		w.pool.injMu.Unlock()
+		w.pool.inject(&f)
 		return
 	}
 	w.dq.PushBottom(&f)
+}
+
+// injEntry is one job in the external submission queue. at is the enqueue
+// time, set only on observed pools so the unobserved path never reads the
+// clock.
+type injEntry struct {
+	f  *Func
+	at time.Time
 }
 
 // Pool is a fixed-size work-stealing worker pool.
@@ -115,13 +122,15 @@ type Pool struct {
 	wg      sync.WaitGroup
 
 	injMu  sync.Mutex
-	inj    []*Func
+	inj    []injEntry
 	injLen atomic.Int64 // lock-free emptiness peek for idle workers
 
 	pending atomic.Int64 // submitted + spawned - completed
 	stop    atomic.Bool
 	aborted atomic.Bool
 	policy  Policy
+
+	obs atomic.Pointer[poolObs] // instrument bundle; nil until Observe
 
 	quiesceMu   sync.Mutex
 	quiesceCond *sync.Cond
@@ -162,8 +171,18 @@ func (p *Pool) Size() int { return len(p.workers) }
 // traversal). Jobs submitted here are picked up by idle workers.
 func (p *Pool) Submit(f Func) {
 	p.pending.Add(1)
+	p.inject(&f)
+}
+
+// inject appends a job to the external submission queue, stamping the
+// enqueue time when the pool is observed (queue-wait histogram).
+func (p *Pool) inject(f *Func) {
+	e := injEntry{f: f}
+	if p.obs.Load() != nil {
+		e.at = time.Now()
+	}
 	p.injMu.Lock()
-	p.inj = append(p.inj, &f)
+	p.inj = append(p.inj, e)
 	p.injLen.Store(int64(len(p.inj)))
 	p.injMu.Unlock()
 }
@@ -234,6 +253,7 @@ func (p *Pool) StatsSnapshot() Stats {
 		s.FailedSteals += w.stats.failedSteals.Load()
 		s.InjectorHits += w.stats.injectorHits.Load()
 		s.IdleTime += time.Duration(w.stats.idleNanos.Load())
+		s.BusyTime += time.Duration(w.stats.busyNanos.Load())
 	}
 	return s
 }
@@ -275,7 +295,13 @@ func (w *Worker) run() {
 			continue
 		}
 		backoff = time.Microsecond
-		(*j)(w)
+		if w.pool.obs.Load() != nil {
+			busyStart := time.Now()
+			(*j)(w)
+			w.stats.busyNanos.Add(int64(time.Since(busyStart)))
+		} else {
+			(*j)(w)
+		}
 		if w.pool.pending.Add(-1) == 0 {
 			w.pool.quiesceMu.Lock()
 			w.pool.quiesceCond.Broadcast()
@@ -289,21 +315,29 @@ func (w *Worker) run() {
 // attempts against the other workers.
 func (w *Worker) findWork() *Func {
 	p := w.pool
+	o := p.obs.Load()
 	if p.injLen.Load() > 0 {
 		p.injMu.Lock()
 		if n := len(p.inj); n > 0 {
-			j := p.inj[n-1]
+			e := p.inj[n-1]
 			p.inj = p.inj[:n-1]
 			p.injLen.Store(int64(len(p.inj)))
 			p.injMu.Unlock()
 			w.stats.injectorHits.Add(1)
-			return j
+			if o != nil && !e.at.IsZero() {
+				o.queueWait.ObserveSince(e.at)
+			}
+			return e.f
 		}
 		p.injMu.Unlock()
 	}
 	n := len(p.workers)
 	if n == 1 {
 		return nil
+	}
+	var searchStart time.Time
+	if o != nil {
+		searchStart = time.Now()
 	}
 	// One randomized pass over the other workers per call; the caller's
 	// backoff loop provides repetition.
@@ -314,6 +348,9 @@ func (w *Worker) findWork() *Func {
 		}
 		if j := victim.dq.Steal(); j != nil {
 			w.stats.steals.Add(1)
+			if o != nil {
+				o.stealLat.ObserveSince(searchStart)
+			}
 			return j
 		}
 		w.stats.failedSteals.Add(1)

@@ -28,6 +28,7 @@ import (
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
 	"ftdag/internal/journal"
+	"ftdag/internal/metrics"
 	"ftdag/internal/sched"
 	"ftdag/internal/trace"
 )
@@ -141,6 +142,12 @@ type Config struct {
 	// Logf receives journal-append failures and replay warnings
 	// (default log.Printf).
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, enables observability: New registers
+	// scheduler, executor, block-store, journal, and service-lifecycle
+	// metrics on it, and every job's execution aggregates into the shared
+	// instrument bundles. Nil (the default) disables metric collection —
+	// the hot paths then cost one pointer check per site.
+	Registry *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +183,9 @@ type job struct {
 	res         *core.Result
 	err         error
 	deadlineHit bool
+	// exec is the job's executor while Running; status() reads its live
+	// counters so listings reflect mid-run progress.
+	exec *core.FT
 	// sinkDigest summarizes res.Sink for cross-incarnation comparison
 	// (set on success, or restored from the journal).
 	sinkDigest string
@@ -189,12 +199,25 @@ type job struct {
 // cancelNow closes the job's cancel channel at most once.
 func (j *job) cancelNow() { j.cancelled.Do(func() { close(j.cancel) }) }
 
+// svcObs is the service-lifecycle instrument bundle (nil when
+// Config.Registry is nil).
+type svcObs struct {
+	submitted      *metrics.Counter
+	succeeded      *metrics.Counter
+	failed         *metrics.Counter
+	cancelled      *metrics.Counter
+	deadlineMisses *metrics.Counter
+	running        *metrics.Gauge
+}
+
 // Server is a multi-job execution service over one shared pool.
 type Server struct {
 	cfg   Config
 	pool  *sched.Pool
 	queue chan *job
 	wg    sync.WaitGroup
+	ins   *core.Instruments // shared executor bundle (nil when unobserved)
+	obs   *svcObs           // lifecycle bundle (nil when unobserved)
 	// submitWG tracks Submits between admission and enqueue so Close can
 	// wait for them before closing the queue channel.
 	submitWG sync.WaitGroup
@@ -235,11 +258,48 @@ func New(cfg Config) *Server {
 		s.queue <- j
 	}
 	s.inQueue = len(reenq)
+	if r := cfg.Registry; r != nil {
+		s.observe(r)
+	}
 	s.wg.Add(cfg.MaxConcurrentJobs)
 	for i := 0; i < cfg.MaxConcurrentJobs; i++ {
 		go s.runner()
 	}
 	return s
+}
+
+// observe wires every layer's metrics into the registry: the shared pool,
+// the executor bundle all jobs aggregate into, the journal (if configured),
+// and the service's own lifecycle counters. Called from New before the
+// runners start, so no job can race the registration.
+func (s *Server) observe(r *metrics.Registry) {
+	s.pool.Observe(r)
+	s.ins = core.NewInstruments(r)
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.Observe(r)
+	}
+	s.obs = &svcObs{
+		submitted:      r.Counter("ftdag_jobs_submitted_total", "Jobs admitted into the queue."),
+		succeeded:      r.Counter("ftdag_jobs_succeeded_total", "Jobs that completed successfully."),
+		failed:         r.Counter("ftdag_jobs_failed_total", "Jobs that ended in failure."),
+		cancelled:      r.Counter("ftdag_jobs_cancelled_total", "Jobs cancelled by callers, deadlines, or shutdown."),
+		deadlineMisses: r.Counter("ftdag_deadline_misses_total", "Jobs aborted because their per-job deadline expired."),
+		running:        r.Gauge("ftdag_jobs_running", "Jobs currently executing on the shared pool."),
+	}
+	r.GaugeFunc("ftdag_queue_depth", "Jobs admitted but not yet picked up by a runner.",
+		func() float64 {
+			s.mu.Lock()
+			d := s.inQueue
+			s.mu.Unlock()
+			return float64(d)
+		})
+	r.CounterFunc("ftdag_jobs_rejected_total", "Submissions rejected by admission control.",
+		func() float64 {
+			s.mu.Lock()
+			n := s.rejected
+			s.mu.Unlock()
+			return float64(n)
+		})
 }
 
 // replay folds the journal's state into the server: terminal jobs become
@@ -421,6 +481,9 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	// Capacity was reserved above, so this cannot block; submitWG keeps
 	// Close/Shutdown from closing the channel underneath the send.
 	s.queue <- j
+	if o := s.obs; o != nil {
+		o.submitted.Inc()
+	}
 	return &Handle{j: j}, nil
 }
 
@@ -481,8 +544,18 @@ func (s *Server) runJob(j *job) {
 		VerifyChecksums: j.spec.VerifyChecksums,
 		Cancel:          j.cancel,
 		Trace:           j.trace,
+		Instruments:     s.ins,
 	})
+	j.mu.Lock()
+	j.exec = exec
+	j.mu.Unlock()
+	if o := s.obs; o != nil {
+		o.running.Add(1)
+	}
 	res, err := exec.RunOn(s.pool)
+	if o := s.obs; o != nil {
+		o.running.Add(-1)
+	}
 	if timer != nil {
 		timer.Stop()
 	}
@@ -542,7 +615,21 @@ func (s *Server) finish(j *job, res *core.Result, err error) {
 		}
 	}
 	skipJournal := j.shutdownAbort
+	deadlineMiss := j.deadlineHit && state == Cancelled
 	j.mu.Unlock()
+	if o := s.obs; o != nil {
+		switch state {
+		case Succeeded:
+			o.succeeded.Inc()
+		case Failed:
+			o.failed.Inc()
+		case Cancelled:
+			o.cancelled.Inc()
+		}
+		if deadlineMiss {
+			o.deadlineMisses.Inc()
+		}
+	}
 	// A shutdown-aborted job's end is an artifact of this incarnation
 	// stopping, not a property of the job: it stays incomplete in the
 	// journal and re-runs on the next boot.
@@ -791,6 +878,13 @@ func (j *job) status() Status {
 		st.Tasks = j.res.Tasks
 		st.ReexecutedTasks = j.res.ReexecutedTasks
 		m := j.res.Metrics
+		st.Metrics = &m
+	} else if j.state == Running && j.exec != nil {
+		// Live mid-run progress: tasks discovered so far and the
+		// executor's counters as they stand (atomics; race-free).
+		st.ElapsedMS = float64(time.Since(j.started)) / float64(time.Millisecond)
+		st.Tasks = j.exec.TasksDiscovered()
+		m := j.exec.LiveMetrics()
 		st.Metrics = &m
 	}
 	return st

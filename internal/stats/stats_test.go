@@ -107,6 +107,73 @@ func TestQuickSummaryInvariants(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"one-element-p50", []float64{7}, 0.5, 7},
+		{"one-element-p99", []float64{7}, 0.99, 7},
+		{"all-equal", []float64{4, 4, 4, 4, 4}, 0.95, 4},
+		{"two-elements-interpolates", []float64{10, 20}, 0.5, 15},
+		{"exact-order-statistic", []float64{1, 2, 3, 4, 5}, 0.25, 2},
+		{"interpolated", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"unsorted-input", []float64{9, 1, 5}, 0.5, 5},
+		{"q-below-zero-clamps", []float64{1, 2, 3}, -0.5, 1},
+		{"q-above-one-clamps", []float64{1, 2, 3}, 1.5, 3},
+		{"p99-near-max", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.99, 9.91},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.xs, c.q); math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("Quantile(%v, %v) = %v, want %v", c.xs, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	// A singleton pins every percentile to the lone observation.
+	s := Summarize([]float64{3})
+	if s.P50 != 3 || s.P95 != 3 || s.P99 != 3 {
+		t.Fatalf("singleton percentiles = %+v", s)
+	}
+	// An all-equal sample does too.
+	s = Summarize([]float64{6, 6, 6, 6})
+	if s.P50 != 6 || s.P95 != 6 || s.P99 != 6 || s.Std != 0 {
+		t.Fatalf("all-equal percentiles = %+v", s)
+	}
+	// Percentiles are order statistics of a sorted copy, so input order
+	// must not matter and the input must not be mutated.
+	in := []float64{5, 1, 3, 2, 4}
+	s = Summarize(in)
+	if s.P50 != 3 {
+		t.Fatalf("P50 = %v, want 3", s.P50)
+	}
+	if in[0] != 5 || in[1] != 1 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		q    float64
+		want float64
+	}{
+		{0, 0.5, 0}, {1, 0.99, 0}, {2, 0.5, 0.5}, {5, 0.25, 1},
+		{10, 1, 9}, {10, 2, 9}, {10, -1, 0}, {101, 0.5, 50},
+	}
+	for _, c := range cases {
+		if got := Rank(c.n, c.q); got != c.want {
+			t.Errorf("Rank(%d, %v) = %v, want %v", c.n, c.q, got, c.want)
+		}
+	}
+}
+
 func TestRate(t *testing.T) {
 	if got := Rate(10, 2*time.Second); got != 5 {
 		t.Errorf("Rate(10, 2s) = %v, want 5", got)

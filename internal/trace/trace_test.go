@@ -99,6 +99,55 @@ func TestConcurrentEmit(t *testing.T) {
 	}
 }
 
+// TestConcurrentEmitWrapAround drives the ring far past its capacity from
+// many goroutines at once and checks the overwrite path: the retained window
+// is exactly the last capacity sequence numbers, strictly monotonic in
+// snapshot order, and no event is a corrupt interleaving of two writers'
+// fields (each writer stamps Key with its id and Arg with its iteration, and
+// every (Key, Arg) pair is emitted once).
+func TestConcurrentEmitWrapAround(t *testing.T) {
+	const capacity, goroutines, per = 64, 8, 500 // 4000 events through 64 slots
+	l := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Emit(Notify, int64(g), g, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * per
+	if l.Len() != total {
+		t.Fatalf("Len = %d, want %d", l.Len(), total)
+	}
+	events := l.Snapshot()
+	if len(events) != capacity {
+		t.Fatalf("Snapshot retained %d events, want %d", len(events), capacity)
+	}
+	seen := map[[2]int64]bool{}
+	for i, e := range events {
+		// Seq monotonic across the overwrite boundary: the window is the
+		// contiguous run ending at the final sequence number.
+		if want := uint64(total - capacity + i); e.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+		// Field integrity: Key names a writer, Life echoes it, Arg is one of
+		// that writer's iterations, and no pair was retained twice.
+		if e.Kind != Notify || e.Key < 0 || e.Key >= goroutines ||
+			int64(e.Life) != e.Key || e.Arg < 0 || e.Arg >= per {
+			t.Fatalf("corrupt event %+v", e)
+		}
+		pair := [2]int64{e.Key, e.Arg}
+		if seen[pair] {
+			t.Fatalf("pair (writer=%d, i=%d) retained twice", e.Key, e.Arg)
+		}
+		seen[pair] = true
+	}
+}
+
 func TestDumpAndStrings(t *testing.T) {
 	l := New(8)
 	l.Emit(Overwritten, 3, 1, 9)
