@@ -4,14 +4,16 @@
 #   make lint    — run the ftlint static-analysis suite (internal/lint)
 #   make race    — race-check the concurrency-critical packages
 #   make crashsoak — kill-and-restart soak of the durable journaled service
+#   make sdcsoak — silent-data-corruption storm against selective replication
 #   make bench-service — record the service throughput baseline
+#   make bench-replica — record the replication overhead-vs-coverage baseline
 #   make benchobs — gate: disabled instrumentation must cost <= 2 ns/op
 
 GO ?= go
 
-.PHONY: ci build test vet lint race build386 soak crashsoak fuzz bench-service benchobs
+.PHONY: ci build test vet lint race build386 soak crashsoak sdcsoak fuzz bench-service bench-replica benchobs
 
-ci: build test vet lint race build386
+ci: build test vet lint race build386 sdcsoak
 
 # Tier-1 gate (ROADMAP.md): must stay green on every PR.
 build:
@@ -36,7 +38,7 @@ lint:
 # group-commit write-ahead log under it, and the shared-mutation observability
 # primitives (metrics registry, trace ring).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/... ./internal/metrics/... ./internal/trace/...
+	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/... ./internal/metrics/... ./internal/trace/... ./internal/replica/...
 
 # Cross-compile smoke for 32-bit: pairs with the atomicalign analyzer —
 # the build proves the tree compiles where 64-bit atomics need 8-byte
@@ -55,6 +57,14 @@ soak:
 crashsoak:
 	$(GO) run ./cmd/ftsoak -duration 20s -crash -crashjobs 12 -v
 
+# SDC detection gate (part of ci): storm selective-replication jobs with
+# silent corruptions planted on covered tasks (bounded seeds so the run is
+# reproducible) and fail unless every injection is detected by its replica
+# pair and the per-job counts reconcile with the metrics registry.
+sdcsoak:
+	$(GO) run ./cmd/ftsoak -sdc -sdciters 24 -seed 1
+	$(GO) run ./cmd/ftsoak -sdc -sdciters 24 -seed 2
+
 # Short fuzz passes over the journal's record/segment decoders (seed corpus
 # in internal/journal/fuzz_test.go).
 fuzz:
@@ -65,6 +75,11 @@ fuzz:
 # Service throughput baseline (BENCH_service.json).
 bench-service:
 	$(GO) run ./cmd/ftserve -load 40 -workers 4 -maxjobs 4 -benchout BENCH_service.json
+
+# Replication baseline (BENCH_replica.json + results_csv/replication.csv):
+# the selective-vs-full overhead and the budget sweep's detection-rate curve.
+bench-replica:
+	$(GO) run ./cmd/ftbench -sizes bench -runs 5 -workers 4 -csv results_csv -replicaout BENCH_replica.json
 
 # Observability-overhead gate (BENCH_metrics.json): the disabled
 # instrumentation hot path — one nil check per site — must stay under

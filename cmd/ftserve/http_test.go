@@ -197,6 +197,76 @@ func TestDebugJobsLiveProgress(t *testing.T) {
 	}
 }
 
+func TestSubmitRecoveryPolicyAndRetryAfter(t *testing.T) {
+	srv := service.New(service.Config{Workers: 2, MaxConcurrentJobs: 1, MaxQueuedJobs: 1})
+	t.Cleanup(func() { srv.Close() })
+	d := &daemon{srv: srv, started: time.Now()}
+	mux := d.newMux()
+	post := func(body string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/jobs", strings.NewReader(body))
+		mux.ServeHTTP(rr, req)
+		return rr
+	}
+
+	// A replicated submission is accepted and reports its policy.
+	rr := post(`{"synthetic":{"layers":3,"width":3,"max_in":2,"seed":9},"recovery":"replicate-selective","replica_budget":0.5,"verify":true}`)
+	if rr.Code != http.StatusAccepted {
+		t.Fatalf("replicated submit = %d: %s", rr.Code, rr.Body.String())
+	}
+	var st struct {
+		Recovery      string  `json:"recovery"`
+		ReplicaBudget float64 `json:"replica_budget"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovery != "replicate-selective" || st.ReplicaBudget != 0.5 {
+		t.Fatalf("status lost the policy: %+v", st)
+	}
+	if rr := post(`{"app":"FW","recovery":"bogus"}`); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bogus recovery = %d, want 400", rr.Code)
+	}
+	// Drain the replicated job before filling the queue below.
+	if h, ok := srv.Job(1); ok {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("replicated job: %v", err)
+		}
+	}
+
+	// Fill the queue behind a blocked job; the rejection must carry a
+	// Retry-After hint.
+	release := make(chan struct{})
+	defer close(release)
+	gate := graph.Chain(2, func(key graph.Key, vals [][]float64) []float64 {
+		if key == 1 {
+			<-release
+		}
+		return []float64{1}
+	})
+	hb, err := srv.Submit(service.JobSpec{Name: "blocker", Spec: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for hb.Status().State != service.Running {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rr := post(`{"synthetic":{"layers":2,"width":2,"max_in":1,"seed":1}}`); rr.Code != http.StatusAccepted {
+		t.Fatalf("queue-slot submit = %d: %s", rr.Code, rr.Body.String())
+	}
+	rr = post(`{"synthetic":{"layers":2,"width":2,"max_in":1,"seed":2}}`)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit = %d, want 429", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 without usable Retry-After (%q)", ra)
+	}
+}
+
 func TestDebugTraceAlias(t *testing.T) {
 	d, mux := newTestDaemon(t, "")
 	spec, err := buildJob(jobRequest{

@@ -204,6 +204,12 @@ type jobRequest struct {
 	Synthetic *syntheticRequest `json:"synthetic,omitempty"`
 	// Faults attaches a deterministic fault-injection plan.
 	Faults *faultRequest `json:"faults,omitempty"`
+	// Recovery selects the job's recovery strategy: "ftnabbit" (default),
+	// "replicate-all", or "replicate-selective" (sized by ReplicaBudget).
+	Recovery string `json:"recovery,omitempty"`
+	// ReplicaBudget is the fraction of tasks to replicate under
+	// recovery=replicate-selective (0 uses the server default).
+	ReplicaBudget float64 `json:"replica_budget,omitempty"`
 	// DeadlineMS bounds the job's execution time in milliseconds.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
 	// TraceCapacity > 0 records the job's lifecycle for GET /jobs/{id}/trace.
@@ -317,6 +323,12 @@ func buildJob(req jobRequest) (service.JobSpec, error) {
 			spec.Plan = fault.PlanCount(spec.Spec, typ, point, f.Count, f.Seed)
 		}
 	}
+	pol, err := service.ParseRecovery(req.Recovery)
+	if err != nil {
+		return spec, err
+	}
+	spec.Recovery = pol
+	spec.ReplicaBudget = req.ReplicaBudget
 	if req.DeadlineMS > 0 {
 		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
@@ -389,6 +401,16 @@ func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, h.Status())
 	case isQueueFull(err):
+		// Surface the service's backpressure hint so well-behaved clients
+		// know when a queue slot is expected to free up.
+		var qf *service.QueueFullError
+		if errors.As(err, &qf) {
+			secs := int(qf.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		httpError(w, http.StatusTooManyRequests, err)
 	default:
 		httpError(w, http.StatusInternalServerError, err)

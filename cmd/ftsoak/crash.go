@@ -42,6 +42,10 @@ type crashJob struct {
 	MaxIn  int    `json:"max_in"`
 	Faults int    `json:"faults"`
 	FSeed  int64  `json:"fseed"`
+	// Recovery/Budget cycle through the recovery policies so the crash soak
+	// round-trips the journaled per-job policy across kills and restarts.
+	Recovery string  `json:"recovery,omitempty"`
+	Budget   float64 `json:"budget,omitempty"`
 }
 
 func (c crashJob) name() string { return fmt.Sprintf("crash-%d", c.I) }
@@ -68,16 +72,26 @@ func (s slowSpec) Compute(ctx graph.Context, key graph.Key) error {
 // crashJobList derives the deterministic job list from the master seed.
 func crashJobList(seed int64, n int) []crashJob {
 	rng := mrand.New(mrand.NewSource(seed))
+	policies := []struct {
+		recovery string
+		budget   float64
+	}{
+		{string(service.RecoverFTNabbit), 0},
+		{string(service.RecoverReplicateAll), 0},
+		{string(service.RecoverReplicateSelective), 0.5},
+	}
 	jobs := make([]crashJob, n)
 	for i := range jobs {
 		jobs[i] = crashJob{
-			I:      i,
-			GSeed:  rng.Uint64() | 1,
-			Layers: 3 + rng.Intn(4),
-			Width:  3 + rng.Intn(4),
-			MaxIn:  1 + rng.Intn(3),
-			Faults: rng.Intn(6),
-			FSeed:  rng.Int63(),
+			I:        i,
+			GSeed:    rng.Uint64() | 1,
+			Layers:   3 + rng.Intn(4),
+			Width:    3 + rng.Intn(4),
+			MaxIn:    1 + rng.Intn(3),
+			Faults:   rng.Intn(6),
+			FSeed:    rng.Int63(),
+			Recovery: policies[i%len(policies)].recovery,
+			Budget:   policies[i%len(policies)].budget,
 		}
 	}
 	return jobs
@@ -108,6 +122,8 @@ func buildCrashSpec(c crashJob, timeout time.Duration) (service.JobSpec, error) 
 		Name:            c.name(),
 		Spec:            rec,
 		Plan:            plan,
+		Recovery:        service.RecoveryPolicy(c.Recovery),
+		ReplicaBudget:   c.Budget,
 		VerifyChecksums: true,
 		Deadline:        timeout,
 		Payload:         payload,

@@ -47,6 +47,8 @@ func main() {
 		useService = flag.Bool("service", false, "submit scenarios through the multi-job Server on one shared pool")
 		jobs       = flag.Int("jobs", 4, "concurrent jobs per batch in -service mode")
 		crash      = flag.Bool("crash", false, "kill-and-restart soak of the journaled service (spawns child processes)")
+		sdc        = flag.Bool("sdc", false, "storm selective-replication jobs with silent data corruptions and require exact detection accounting")
+		sdcIters   = flag.Int("sdciters", 24, "jobs to run in -sdc mode")
 		crashJobs  = flag.Int("crashjobs", 12, "total jobs the crash soak must complete across restarts")
 		crashChild = flag.Bool("crashchild", false, "internal: run as a crash-soak child server")
 		dataDir    = flag.String("datadir", "", "internal: crash-soak child journal directory")
@@ -62,6 +64,10 @@ func main() {
 	}
 	if *crash {
 		runCrashSoak(*seed, *duration, *crashJobs, *maxWorkers, *timeout, *verbose)
+		return
+	}
+	if *sdc {
+		runSDCSoak(*seed, *sdcIters, *maxWorkers, *timeout, *verbose)
 		return
 	}
 

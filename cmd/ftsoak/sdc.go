@@ -1,0 +1,135 @@
+// SDC soak: storms selective-replication jobs with silent-data-corruption
+// injections and fails unless detection is airtight. Every victim task is
+// chosen from the job's replica-covered set, so a correct detector catches
+// 100% of the injections: each job must report detected == injected and
+// missed == 0, every sink must match the sequential reference (the detected
+// corruption was re-executed away), and at the end the metrics registry's
+// ftdag_sdc_*_total counters must reconcile exactly with the per-job sums.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ftdag/internal/core"
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/metrics"
+	"ftdag/internal/replica"
+	"ftdag/internal/service"
+)
+
+// sdcBudgets are the selective budgets the soak cycles through. All are high
+// enough that Select covers at least a few tasks on the soak's graph sizes.
+var sdcBudgets = []float64{0.25, 0.5, 0.75, 1.0}
+
+func runSDCSoak(seed int64, iters, workers int, timeout time.Duration, verbose bool) {
+	fmt.Printf("ftsoak: sdc soak seed=%d iters=%d\n", seed, iters)
+	rng := rand.New(rand.NewSource(seed))
+	reg := metrics.NewRegistry()
+	srv := service.New(service.Config{
+		Workers:           workers,
+		MaxConcurrentJobs: 2,
+		MaxQueuedJobs:     iters + 4,
+		Registry:          reg,
+	})
+	pre := scrape(reg)
+
+	var jobsRun, injected, detected, replicated int64
+	for i := 0; i < iters; i++ {
+		gseed := rng.Uint64() | 1
+		layers := 3 + rng.Intn(4)
+		width := 4 + rng.Intn(5)
+		maxIn := 1 + rng.Intn(3)
+		g := graph.Layered(layers, width, maxIn, gseed, nil)
+		budget := sdcBudgets[i%len(sdcBudgets)]
+		set := replica.Select(g, replica.Policy{Budget: budget})
+
+		rec0 := core.NewRecorder(g)
+		if _, err := core.NewSequential(rec0, 0).Run(); err != nil {
+			fail(gseed, nil, fmt.Errorf("sequential: %w", err))
+		}
+		want := rec0.Outputs()
+
+		// Victims come from the covered set (sink excluded, matching
+		// fault.SelectTasks), so the budget always dominates the injected
+		// fraction and full detection is the hard requirement, not a hope.
+		var pool []graph.Key
+		for _, k := range set.Keys() {
+			if k != g.Sink() {
+				pool = append(pool, k)
+			}
+		}
+		rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+		n := 1 + rng.Intn(3)
+		if n > len(pool) {
+			n = len(pool)
+		}
+		plan := fault.NewPlan()
+		for _, k := range pool[:n] {
+			plan.Add(k, fault.SDC, 1)
+		}
+
+		rec := core.NewRecorder(g)
+		h, err := srv.Submit(service.JobSpec{
+			Name:            fmt.Sprintf("sdc-%d", gseed),
+			Spec:            rec,
+			Plan:            plan,
+			Recovery:        service.RecoverReplicateSelective,
+			ReplicaBudget:   budget,
+			VerifyChecksums: true,
+			Deadline:        timeout,
+			Verify: func(res *core.Result) error {
+				if d := rec.Diff(want); d != "" {
+					return fmt.Errorf("output divergence: %s", d)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			fail(gseed, plan, fmt.Errorf("submit: %w", err))
+		}
+		res, err := h.Wait()
+		if err != nil {
+			fail(gseed, plan, err)
+		}
+		m := res.Metrics
+		if m.SDCInjected != int64(n) {
+			fail(gseed, plan, fmt.Errorf("sdc: %d injections fired, planned %d", m.SDCInjected, n))
+		}
+		if m.SDCDetected != m.SDCInjected || m.SDCMissed != 0 {
+			fail(gseed, plan, fmt.Errorf(
+				"sdc: budget %.2f covered every victim yet detection leaked: injected=%d detected=%d missed=%d",
+				budget, m.SDCInjected, m.SDCDetected, m.SDCMissed))
+		}
+		jobsRun++
+		injected += m.SDCInjected
+		detected += m.SDCDetected
+		replicated += m.ReplicatedTasks
+		if verbose {
+			fmt.Printf("iter %d: graph %dx%d seed=%d budget=%.2f replicated=%d sdc=%d/%d OK\n",
+				i+1, layers, width, gseed, budget, m.ReplicatedTasks, m.SDCDetected, m.SDCInjected)
+		}
+	}
+	srv.Close()
+
+	// Registry reconciliation: the scrape-level counters must agree exactly
+	// with the per-job sums — a detection that happened but was not
+	// accounted (or vice versa) is a failure even if every sink verified.
+	mustAccount := func(name string, want int64) {
+		got, ok := reg.Value(name)
+		if !ok || int64(got)-int64(pre[name]) != want {
+			fail(0, nil, fmt.Errorf("metric accounting: %s moved by %v, want %d", name, got-pre[name], want))
+		}
+	}
+	mustAccount("ftdag_sdc_injected_total", injected)
+	mustAccount("ftdag_sdc_detected_total", detected)
+	mustAccount("ftdag_sdc_missed_total", 0)
+	mustAccount("ftdag_replicated_tasks_total", replicated)
+	if detected != injected {
+		fail(0, nil, fmt.Errorf("sdc: %d detections for %d injections", detected, injected))
+	}
+	fmt.Printf("ftsoak: PASS (sdc) — %d jobs, %d SDCs injected on covered tasks, %d detected, 0 missed, 0 divergences\n",
+		jobsRun, injected, detected)
+}

@@ -286,6 +286,28 @@ func (s *Store) Corrupt(b ID, version int) bool {
 	return false
 }
 
+// CorruptSilently models silent data corruption: it flips bits in the
+// payload of the given version and then recomputes the stored checksum over
+// the corrupted data, so neither the poisoned-flag check nor checksum
+// verification detects it. Reads succeed and return wrong data — the
+// failure mode only replica comparison (internal/replica) can catch. It
+// returns whether the version was retained.
+func (s *Store) CorruptSilently(b ID, version int) bool {
+	sl := s.slotFor(b)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	for _, e := range sl.entries {
+		if e.version == version {
+			if len(e.data) > 0 {
+				e.data[0] = flipBits(e.data[0])
+			}
+			e.checksum = checksum(e.data)
+			return true
+		}
+	}
+	return false
+}
+
 // Versions returns the retained version numbers of a block, oldest written
 // first. Diagnostic use.
 func (s *Store) Versions(b ID) []int {

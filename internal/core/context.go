@@ -15,6 +15,13 @@ type ftCtx struct {
 	e     *FT
 	t     *Task
 	wrote bool
+	out   []float64 // the written payload; shares its backing array with the store entry
+	// capture, when non-nil, records every predecessor payload this compute
+	// reads. The replicated path snapshots the primary's inputs this way so
+	// a shadow that loses the store-read race to version eviction can still
+	// verify the primary (store entries own their data slices, so the
+	// references stay valid after eviction).
+	capture map[graph.Key][]float64
 }
 
 var _ graph.Context = (*ftCtx)(nil)
@@ -26,6 +33,9 @@ func (c *ftCtx) ReadPred(pred graph.Key) ([]float64, error) {
 	ref := c.e.spec.Output(pred)
 	data, err := c.e.store.Read(ref.Block, ref.Version)
 	if err == nil {
+		if c.capture != nil {
+			c.capture[pred] = data
+		}
 		return data, nil
 	}
 	life := 0
@@ -52,5 +62,38 @@ func (c *ftCtx) Write(data []float64) {
 			c.e.cfg.Trace.Emit(trace.Overwritten, p, pt.life, c.t.key)
 		}
 	}
+	c.wrote = true
+	c.out = data
+}
+
+// shadowCtx is the context handed to a shadow replica: reads go through the
+// store like the primary's, but the write is captured locally instead of
+// stored — only the digest of a shadow's output matters, and a second store
+// write would evict retained versions and double overwrite bookkeeping.
+// When inputs is non-nil the shadow instead reads from that snapshot of the
+// primary's inputs (the re-verification path after the live shadow lost a
+// predecessor version to retention eviction).
+type shadowCtx struct {
+	e      *FT
+	t      *Task
+	wrote  bool
+	out    []float64
+	inputs map[graph.Key][]float64
+}
+
+var _ graph.Context = (*shadowCtx)(nil)
+
+func (c *shadowCtx) ReadPred(pred graph.Key) ([]float64, error) {
+	if c.inputs != nil {
+		if data, ok := c.inputs[pred]; ok {
+			return data, nil
+		}
+		return nil, fault.Errorf(c.t.key, c.t.life)
+	}
+	return (&ftCtx{e: c.e, t: c.t}).ReadPred(pred)
+}
+
+func (c *shadowCtx) Write(data []float64) {
+	c.out = data
 	c.wrote = true
 }

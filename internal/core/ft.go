@@ -11,6 +11,7 @@ import (
 	"ftdag/internal/cmap"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
+	"ftdag/internal/replica"
 	"ftdag/internal/sched"
 	"ftdag/internal/trace"
 )
@@ -48,6 +49,12 @@ type Config struct {
 	// (NewInstruments) this run aggregates into. Nil disables metric
 	// collection at a cost of one pointer check per instrumentation site.
 	Instruments *Instruments
+	// Replicate selects the tasks to execute twice on distinct workers
+	// with digest comparison at the join (internal/replica). Nil (or an
+	// empty set) disables replication; a full set is dual modular
+	// redundancy. On digest disagreement the task is invalidated and
+	// re-executed through the ordinary FT-NABBIT recovery machinery.
+	Replicate *replica.Set
 }
 
 func (c Config) workers() int {
@@ -324,7 +331,14 @@ func (e *FT) notifySuccessor(w *sched.Worker, from graph.Key, skey graph.Key) {
 // re-checking under the lock until the array stops growing, at which point
 // the task is Completed. Errors in the task itself are recovered; errors in
 // a predecessor's data reset this task for re-processing (Guarantee 5).
+// Tasks selected by Config.Replicate take the replicated path instead
+// (replica_exec.go), which defers the notify drain until both replicas'
+// digests agree.
 func (e *FT) computeAndNotify(w *sched.Worker, t *Task) {
+	if e.cfg.Replicate.Contains(t.key) {
+		e.computeReplicated(w, t)
+		return
+	}
 	err := func() error { // try
 		if err := t.check(); err != nil {
 			return err
@@ -333,95 +347,130 @@ func (e *FT) computeAndNotify(w *sched.Worker, t *Task) {
 			e.inject(t, false)
 			return fault.Errorf(t.key, t.life)
 		}
-		if h := e.cfg.Hooks.OnCompute; h != nil {
-			h(t.key, t.life)
-		}
-		e.cfg.Trace.Emit(trace.ComputeStart, t.key, t.life, 0)
-		e.met.computes.Add(1)
-		ins := e.cfg.Instruments
-		var computeStart time.Time
-		if ins != nil {
-			ins.TasksComputed.Inc()
-			computeStart = time.Now()
-		}
-		ctx := &ftCtx{e: e, t: t}
-		if err := e.spec.Compute(ctx, t.key); err != nil {
-			e.met.computeErrors.Add(1)
-			if ins != nil {
-				ins.ComputeLatency.ObserveSince(computeStart)
-				ins.ComputeErrors.Inc()
-			}
+		if _, err := e.runCompute(w, t, nil); err != nil {
 			return err
-		}
-		if ins != nil {
-			ins.ComputeLatency.ObserveSince(computeStart)
-		}
-		if !ctx.wrote {
-			panic(fmt.Sprintf("core: task %d computed without writing its output", t.key))
 		}
 		if e.plan.Fire(t.key, t.life, fault.AfterCompute) {
 			e.inject(t, true)
 			return fault.Errorf(t.key, t.life)
 		}
-		if h := e.cfg.Hooks.OnComputed; h != nil {
-			h(t.key, t.life)
-		}
-		e.cfg.Trace.Emit(trace.ComputeDone, t.key, t.life, 0)
-		t.status.Store(int32(Computed))
-		notified := 0
-		for {
-			t.mu.Lock()
-			if notified == len(t.notify) {
-				t.status.Store(int32(Completed))
-				t.mu.Unlock()
-				e.cfg.Trace.Emit(trace.Completed, t.key, t.life, int64(notified))
-				break
-			}
-			batch := append([]graph.Key(nil), t.notify[notified:]...)
-			t.mu.Unlock()
-			notified += len(batch)
-			for _, skey := range batch {
-				sk := skey
-				e.spawn(w, func(w *sched.Worker) { e.notifySuccessor(w, t.key, sk) })
+		if e.plan.Fire(t.key, t.life, fault.SDC) {
+			// Unreplicated task: the corruption is unobservable by
+			// construction. Count the miss and continue as if nothing
+			// happened — that is the point of the SDC model.
+			e.injectSDC(t)
+			e.met.sdcMissed.Add(1)
+			if ins := e.cfg.Instruments; ins != nil {
+				ins.SDCMissed.Inc()
 			}
 		}
-		if e.plan.Fire(t.key, t.life, fault.AfterNotify) {
-			// Silent corruption: no exception here; the fault is
-			// observed (if at all) by later readers of the task's
-			// descriptor or output (§VI-B "after notify").
-			e.inject(t, true)
-		}
+		e.finishAndNotify(w, t)
 		return nil
 	}()
 	if err != nil { // catch
-		var fe *fault.Error
-		if !errors.As(err, &fe) {
-			panic(fmt.Sprintf("core: task %d compute returned non-fault error: %v", t.key, err))
+		e.catchComputeError(w, t, err)
+	}
+}
+
+// runCompute executes the user compute of t's current incarnation with its
+// hooks, trace events, and metrics, returning the written output payload.
+// Shared by the plain and replicated (primary) paths; the replicated path
+// passes a non-nil capture map to snapshot the inputs the compute read.
+func (e *FT) runCompute(w *sched.Worker, t *Task, capture map[graph.Key][]float64) ([]float64, error) {
+	if h := e.cfg.Hooks.OnCompute; h != nil {
+		h(t.key, t.life)
+	}
+	e.cfg.Trace.Emit(trace.ComputeStart, t.key, t.life, 0)
+	e.met.computes.Add(1)
+	ins := e.cfg.Instruments
+	var computeStart time.Time
+	if ins != nil {
+		ins.TasksComputed.Inc()
+		computeStart = time.Now()
+	}
+	ctx := &ftCtx{e: e, t: t, capture: capture}
+	if err := e.spec.Compute(ctx, t.key); err != nil {
+		e.met.computeErrors.Add(1)
+		if ins != nil {
+			ins.ComputeLatency.ObserveSince(computeStart)
+			ins.ComputeErrors.Inc()
 		}
-		e.cfg.Trace.Emit(trace.ComputeFault, t.key, t.life, fe.Key)
-		if fe.Key == t.key {
-			e.recoverTaskOnce(w, fe.Key, fe.Life)
-		} else {
-			// A predecessor's fault surfaced during our compute
-			// (Guarantee 5). The read error names the failed
-			// producer exactly, so recover it directly, then
-			// process this task anew; its re-traversal registers
-			// with the recovered incarnation and re-observes any
-			// other failed predecessors.
-			//
-			// This deviates from the paper's pseudocode, which
-			// instead detects overwritten predecessors during the
-			// reset re-traversal (the B.overwritten check in
-			// TRYINITCOMPUTE). That check is only sound when every
-			// predecessor's data is consumed by the successor; the
-			// blocked FW and SW graphs carry ordering-only
-			// anti-dependence edges whose predecessors are
-			// *legitimately* overwritten, and recovering those on
-			// traversal livelocks. Read-time attribution recovers
-			// exactly the producers whose data is needed.
-			e.recoverTaskOnce(w, fe.Key, fe.Life)
-			e.resetNode(w, t)
+		return nil, err
+	}
+	if ins != nil {
+		ins.ComputeLatency.ObserveSince(computeStart)
+	}
+	if !ctx.wrote {
+		panic(fmt.Sprintf("core: task %d computed without writing its output", t.key))
+	}
+	return ctx.out, nil
+}
+
+// finishAndNotify marks t Computed and drains its notify array (spawning
+// one notifySuccessor per entry, re-checking under the lock until the array
+// stops growing), then fires any planned after-notify fault.
+func (e *FT) finishAndNotify(w *sched.Worker, t *Task) {
+	if h := e.cfg.Hooks.OnComputed; h != nil {
+		h(t.key, t.life)
+	}
+	e.cfg.Trace.Emit(trace.ComputeDone, t.key, t.life, 0)
+	t.status.Store(int32(Computed))
+	notified := 0
+	for {
+		t.mu.Lock()
+		if notified == len(t.notify) {
+			t.status.Store(int32(Completed))
+			t.mu.Unlock()
+			e.cfg.Trace.Emit(trace.Completed, t.key, t.life, int64(notified))
+			break
 		}
+		batch := append([]graph.Key(nil), t.notify[notified:]...)
+		t.mu.Unlock()
+		notified += len(batch)
+		for _, skey := range batch {
+			sk := skey
+			e.spawn(w, func(w *sched.Worker) { e.notifySuccessor(w, t.key, sk) })
+		}
+	}
+	if e.plan.Fire(t.key, t.life, fault.AfterNotify) {
+		// Silent corruption: no exception here; the fault is
+		// observed (if at all) by later readers of the task's
+		// descriptor or output (§VI-B "after notify").
+		e.inject(t, true)
+	}
+}
+
+// catchComputeError is the catch block shared by the plain and replicated
+// compute paths: a fault in the task itself is recovered; a predecessor's
+// fault recovers the predecessor and resets this task (Guarantee 5).
+func (e *FT) catchComputeError(w *sched.Worker, t *Task, err error) {
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		panic(fmt.Sprintf("core: task %d compute returned non-fault error: %v", t.key, err))
+	}
+	e.cfg.Trace.Emit(trace.ComputeFault, t.key, t.life, fe.Key)
+	if fe.Key == t.key {
+		e.recoverTaskOnce(w, fe.Key, fe.Life)
+	} else {
+		// A predecessor's fault surfaced during our compute
+		// (Guarantee 5). The read error names the failed
+		// producer exactly, so recover it directly, then
+		// process this task anew; its re-traversal registers
+		// with the recovered incarnation and re-observes any
+		// other failed predecessors.
+		//
+		// This deviates from the paper's pseudocode, which
+		// instead detects overwritten predecessors during the
+		// reset re-traversal (the B.overwritten check in
+		// TRYINITCOMPUTE). That check is only sound when every
+		// predecessor's data is consumed by the successor; the
+		// blocked FW and SW graphs carry ordering-only
+		// anti-dependence edges whose predecessors are
+		// *legitimately* overwritten, and recovering those on
+		// traversal livelocks. Read-time attribution recovers
+		// exactly the producers whose data is needed.
+		e.recoverTaskOnce(w, fe.Key, fe.Life)
+		e.resetNode(w, t)
 	}
 }
 

@@ -32,6 +32,17 @@ type Instruments struct {
 	Resets          *obs.Counter
 	Notifications   *obs.Counter
 	InjectionsFired *obs.Counter
+	// Selective-replication instruments: ReplicatedTasks counts primary
+	// executions run with a shadow replica, ShadowComputes the redundant
+	// executions themselves. SDCInjected/Detected/Missed track silent data
+	// corruptions fired, caught by digest comparison, and unobserved. The
+	// registry additionally exposes ftdag_replication_overhead_ratio
+	// (shadow computes / primary computes) as a scrape-time gauge.
+	ReplicatedTasks *obs.Counter
+	ShadowComputes  *obs.Counter
+	SDCInjected     *obs.Counter
+	SDCDetected     *obs.Counter
+	SDCMissed       *obs.Counter
 	// Block instruments the executors' block stores (shared bundle).
 	Block *block.Instruments
 }
@@ -44,7 +55,7 @@ func NewInstruments(r *obs.Registry) *Instruments {
 	if r == nil {
 		return nil
 	}
-	return &Instruments{
+	i := &Instruments{
 		TasksComputed:  r.Counter("ftdag_tasks_computed_total", "User compute invocations, including those aborted by an injected fault."),
 		ComputeErrors:  r.Counter("ftdag_compute_errors_total", "Compute invocations that observed a fault in themselves or a predecessor."),
 		ComputeLatency: r.Histogram("ftdag_compute_latency_seconds", "Latency of the user compute function."),
@@ -54,10 +65,25 @@ func NewInstruments(r *obs.Registry) *Instruments {
 		Resets:          r.Counter("ftdag_resets_total", "Notify-array resets after a predecessor failure surfaced mid-compute."),
 		Notifications:   r.Counter("ftdag_notifications_total", "Join-counter decrements that won their notification bit."),
 		InjectionsFired: r.Counter("ftdag_injections_fired_total", "Fault injections actually fired."),
+		ReplicatedTasks: r.Counter("ftdag_replicated_tasks_total", "Primary executions run with a shadow replica on a distinct worker."),
+		ShadowComputes:  r.Counter("ftdag_shadow_computes_total", "Redundant (shadow) replica executions."),
+		SDCInjected:     r.Counter("ftdag_sdc_injected_total", "Silent data corruptions fired by the fault plan (checksum recomputed, no flag)."),
+		SDCDetected:     r.Counter("ftdag_sdc_detected_total", "Silent data corruptions caught by replica digest comparison."),
+		SDCMissed:       r.Counter("ftdag_sdc_missed_total", "Silent data corruptions that struck an unreplicated task or an execution whose shadow failed."),
 		Block: &block.Instruments{
 			Evictions:        r.Counter("ftdag_block_evictions_total", "Block versions evicted by the retention ring."),
 			CorruptReads:     r.Counter("ftdag_block_corrupt_reads_total", "Reads that observed the poisoned flag."),
 			ChecksumFailures: r.Counter("ftdag_block_checksum_failures_total", "Reads that failed checksum verification."),
 		},
 	}
+	r.GaugeFunc("ftdag_replication_overhead_ratio",
+		"Shadow (redundant) computes as a fraction of primary computes.",
+		func() float64 {
+			p := float64(i.TasksComputed.Value())
+			if p == 0 {
+				return 0
+			}
+			return float64(i.ShadowComputes.Value()) / p
+		})
+	return i
 }

@@ -21,6 +21,17 @@ type metrics struct {
 	injections     atomic.Int64
 	overwriteMarks atomic.Int64
 	reinitEnqueues atomic.Int64
+
+	// Selective-replication counters (internal/replica). Shadow computes
+	// are deliberately NOT folded into computes: ReexecutedTasks is defined
+	// as Computes − Tasks and replication overhead must not masquerade as
+	// fault re-execution.
+	replicatedTasks atomic.Int64
+	shadowComputes  atomic.Int64
+	shadowFailures  atomic.Int64
+	sdcInjected     atomic.Int64
+	sdcDetected     atomic.Int64
+	sdcMissed       atomic.Int64
 }
 
 // Metrics is an immutable snapshot of one run's executor counters.
@@ -49,6 +60,21 @@ type Metrics struct {
 	InjectionsFired int64
 	// OverwriteMarks counts tasks marked overwritten by block eviction.
 	OverwriteMarks int64
+	// ReplicatedTasks counts primary executions that ran with a shadow
+	// replica; ShadowComputes counts the redundant executions themselves
+	// (excluded from Computes so ReexecutedTasks stays Computes − Tasks).
+	// ShadowFailures counts shadows that errored, degrading that execution
+	// to unverified.
+	ReplicatedTasks int64
+	ShadowComputes  int64
+	ShadowFailures  int64
+	// SDCInjected counts silent output corruptions fired by the plan;
+	// SDCDetected those caught by replica digest comparison; SDCMissed
+	// those that struck an unreplicated task (or one whose shadow failed)
+	// and went unobserved.
+	SDCInjected int64
+	SDCDetected int64
+	SDCMissed   int64
 }
 
 func (m *metrics) snapshot() Metrics {
@@ -62,12 +88,23 @@ func (m *metrics) snapshot() Metrics {
 		Notifications:   m.notifications.Load(),
 		InjectionsFired: m.injections.Load(),
 		OverwriteMarks:  m.overwriteMarks.Load(),
+		ReplicatedTasks: m.replicatedTasks.Load(),
+		ShadowComputes:  m.shadowComputes.Load(),
+		ShadowFailures:  m.shadowFailures.Load(),
+		SDCInjected:     m.sdcInjected.Load(),
+		SDCDetected:     m.sdcDetected.Load(),
+		SDCMissed:       m.sdcMissed.Load(),
 	}
 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("computes=%d errors=%d recoveries=%d resets=%d injected=%d overwrites=%d",
+	s := fmt.Sprintf("computes=%d errors=%d recoveries=%d resets=%d injected=%d overwrites=%d",
 		m.Computes, m.ComputeErrors, m.Recoveries, m.Resets, m.InjectionsFired, m.OverwriteMarks)
+	if m.ReplicatedTasks > 0 || m.SDCInjected > 0 {
+		s += fmt.Sprintf(" replicated=%d shadows=%d sdc=%d/%d/%d",
+			m.ReplicatedTasks, m.ShadowComputes, m.SDCInjected, m.SDCDetected, m.SDCMissed)
+	}
+	return s
 }
 
 // Result summarises one task graph execution.

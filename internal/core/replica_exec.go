@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/replica"
+	"ftdag/internal/sched"
+	"ftdag/internal/trace"
+)
+
+// This file is the executor half of selective task replication
+// (internal/replica): tasks in Config.Replicate run twice — the primary on
+// the spawning worker, a shadow pinned to a *different* worker (core-local
+// corruption would hit both copies of a co-located pair) — and their output
+// digests are compared at a continuation-passing join. Neither replica ever
+// blocks a worker, so the busy-leaves property and Lemma 3 (a correct
+// execution always drains) are preserved. On digest disagreement the task
+// and its stored output are invalidated and the ordinary FT-NABBIT recovery
+// machinery re-executes it; successors have not been notified yet (the
+// notify drain runs only after a clean join), so the downstream notify
+// closure is invalidated with it by construction.
+
+// replicaJoin is the join state of one replicated execution. The two
+// replicas each call arrive exactly once; the last arrival resolves. The
+// digest fields are plain because each is written by one replica before its
+// (sequentially consistent) arrive decrement, which happens-before the
+// resolving replica's observation of remaining == 0.
+type replicaJoin struct {
+	remaining     atomic.Int32
+	aborted       atomic.Bool // primary failed; recovery owns the task
+	shadowFailed  atomic.Bool // shadow errored; re-verify from the input snapshot
+	sdcFired      bool        // an SDC was injected into the primary's output
+	primaryDigest uint64
+	shadowDigest  uint64
+	shadowWorker  int64
+	// inputs is the primary's snapshot of the predecessor payloads it read,
+	// written before its arrive. If the live shadow loses a store read to
+	// retention eviction, the resolver re-runs the shadow compute from this
+	// snapshot so the primary never goes unverified just because an
+	// anti-dependent writer won a race.
+	inputs map[graph.Key][]float64
+}
+
+// arrive records one replica's completion and reports whether the caller is
+// the last to arrive (and must therefore resolve the join).
+func (rj *replicaJoin) arrive() bool { return rj.remaining.Add(-1) == 0 }
+
+// computeReplicated executes t with a shadow replica. The shadow is spawned
+// first so it can overlap the primary; the primary then runs inline on w.
+func (e *FT) computeReplicated(w *sched.Worker, t *Task) {
+	rj := &replicaJoin{}
+	rj.remaining.Store(2)
+	e.met.replicatedTasks.Add(1)
+	ins := e.cfg.Instruments
+	if ins != nil {
+		ins.ReplicatedTasks.Inc()
+	}
+	rj.shadowWorker = int64(e.spawnAvoiding(w, func(w2 *sched.Worker) {
+		e.runShadow(w2, t, rj)
+	}))
+	err := func() error { // try (primary)
+		if err := t.check(); err != nil {
+			return err
+		}
+		if e.plan.Fire(t.key, t.life, fault.BeforeCompute) {
+			e.inject(t, false)
+			return fault.Errorf(t.key, t.life)
+		}
+		rj.inputs = make(map[graph.Key][]float64)
+		out, err := e.runCompute(w, t, rj.inputs)
+		if err != nil {
+			return err
+		}
+		if e.plan.Fire(t.key, t.life, fault.AfterCompute) {
+			e.inject(t, true)
+			return fault.Errorf(t.key, t.life)
+		}
+		if e.plan.Fire(t.key, t.life, fault.SDC) {
+			// CorruptSilently flips the stored payload in place; out
+			// shares that backing array, so the digest taken below is
+			// the digest of the corrupted data — exactly what a
+			// downstream consumer would read.
+			e.injectSDC(t)
+			rj.sdcFired = true
+		}
+		rj.primaryDigest = replica.Digest(out)
+		return nil
+	}()
+	if err != nil {
+		rj.aborted.Store(true)
+	}
+	last := rj.arrive()
+	if err != nil { // catch
+		e.catchComputeError(w, t, err)
+		return
+	}
+	if last {
+		e.resolveReplicas(w, t, rj)
+	}
+}
+
+// runShadow executes the shadow replica on its pinned worker. The shadow
+// reads predecessors through the store like the primary but captures its
+// write locally; only the digest matters. A shadow failure (poisoned
+// descriptor, evicted predecessor version, compute error) does not trigger
+// recovery — the resolver re-verifies the primary from its input snapshot
+// instead, so a shadow losing a store read to an anti-dependent writer
+// never costs detection coverage.
+func (e *FT) runShadow(w *sched.Worker, t *Task, rj *replicaJoin) {
+	out, err := e.shadowCompute(t, nil)
+	if err != nil {
+		rj.shadowFailed.Store(true)
+	} else {
+		rj.shadowDigest = replica.Digest(out)
+	}
+	if rj.arrive() {
+		e.resolveReplicas(w, t, rj)
+	}
+}
+
+// shadowCompute runs t's compute without storing the output. With a non-nil
+// inputs map the predecessor reads come from that snapshot instead of the
+// store (the re-verification path).
+func (e *FT) shadowCompute(t *Task, inputs map[graph.Key][]float64) ([]float64, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	e.met.shadowComputes.Add(1)
+	if ins := e.cfg.Instruments; ins != nil {
+		ins.ShadowComputes.Inc()
+	}
+	ctx := &shadowCtx{e: e, t: t, inputs: inputs}
+	if err := e.spec.Compute(ctx, t.key); err != nil {
+		return nil, err
+	}
+	if !ctx.wrote {
+		return nil, fault.Errorf(t.key, t.life)
+	}
+	return ctx.out, nil
+}
+
+// reverifyFromSnapshot re-runs the shadow compute from the primary's input
+// snapshot after the live shadow failed, filling rj.shadowDigest. It runs
+// inline on the resolving worker — the distinct-worker placement was already
+// attempted by the live shadow; this retry trades that placement for
+// guaranteed verification. Reports whether a digest was produced.
+func (e *FT) reverifyFromSnapshot(t *Task, rj *replicaJoin) bool {
+	if rj.inputs == nil {
+		return false
+	}
+	out, err := e.shadowCompute(t, rj.inputs)
+	if err != nil {
+		return false
+	}
+	rj.shadowDigest = replica.Digest(out)
+	return true
+}
+
+// resolveReplicas runs on whichever replica arrived last. On agreement the
+// task proceeds to its notify drain; on disagreement the task descriptor and
+// its stored output are poisoned and the ordinary recovery machinery
+// re-executes the incarnation (the SDC plan entry has already fired, so the
+// re-execution is clean).
+func (e *FT) resolveReplicas(w *sched.Worker, t *Task, rj *replicaJoin) {
+	if rj.aborted.Load() {
+		return // the primary's catch already dispatched recovery
+	}
+	ins := e.cfg.Instruments
+	err := func() error { // try
+		if rj.shadowFailed.Load() {
+			e.met.shadowFailures.Add(1)
+			if !e.reverifyFromSnapshot(t, rj) {
+				// Neither the live shadow nor the snapshot re-run could
+				// produce a digest (the task was poisoned under us, or
+				// its compute genuinely errors): accept the primary
+				// unverified. If a corruption was injected it escaped
+				// the one mechanism that could have caught it: a miss.
+				if rj.sdcFired {
+					e.met.sdcMissed.Add(1)
+					if ins != nil {
+						ins.SDCMissed.Inc()
+					}
+				}
+				e.finishAndNotify(w, t)
+				return nil
+			}
+		}
+		if rj.primaryDigest != rj.shadowDigest {
+			e.met.sdcDetected.Add(1)
+			if ins != nil {
+				ins.SDCDetected.Inc()
+			}
+			e.cfg.Trace.Emit(trace.SDCDetect, t.key, t.life, rj.shadowWorker)
+			// Invalidate the task and its output so any concurrent
+			// reader observes the failure, then hand the incarnation
+			// to recovery. Successors are un-notified at this point,
+			// so the downstream notify closure re-attaches to the
+			// fresh incarnation via the recovery scan.
+			t.poisoned.Store(true)
+			ref := e.spec.Output(t.key)
+			e.store.Corrupt(ref.Block, ref.Version)
+			return fault.Errorf(t.key, t.life)
+		}
+		e.finishAndNotify(w, t)
+		return nil
+	}()
+	if err != nil { // catch
+		e.recoverFromError(w, err, t.key, t.life)
+	}
+}
+
+// injectSDC silently corrupts the task's freshly written output version:
+// the payload bits flip and the stored checksum is recomputed over the
+// corrupted data, so neither the poisoned flag nor checksum verification
+// can observe it. Only replica digest comparison can.
+func (e *FT) injectSDC(t *Task) {
+	ref := e.spec.Output(t.key)
+	e.store.CorruptSilently(ref.Block, ref.Version)
+	e.cfg.Trace.Emit(trace.SDCInject, t.key, t.life, 0)
+	e.met.sdcInjected.Add(1)
+	if ins := e.cfg.Instruments; ins != nil {
+		ins.SDCInjected.Inc()
+	}
+}
+
+// spawnAvoiding schedules f on a worker other than w (round-robin; worker 0
+// on a single-worker pool), through this run's group when present so abort
+// and quiescence semantics match spawn. Returns the chosen worker id.
+func (e *FT) spawnAvoiding(w *sched.Worker, f sched.Func) int {
+	if e.group != nil {
+		return e.group.SpawnAvoiding(w, f)
+	}
+	return w.Pool().SubmitAvoiding(w.ID(), f)
+}

@@ -97,6 +97,7 @@ func (e *Replicated) Run() (*Result, *ReplicatedStats, error) {
 // agree. A planned fault corrupts one replica's output, modelling an SDC in
 // one of the redundant executions.
 func (e *Replicated) runReplicated(key graph.Key) error {
+	e.met.replicatedTasks.Add(1)
 	for attempt := 0; ; attempt++ {
 		a, err := e.computeOnce(key)
 		if err != nil {
@@ -106,7 +107,12 @@ func (e *Replicated) runReplicated(key graph.Key) error {
 		if err != nil {
 			return err
 		}
-		if e.cfg.Plan.Fire(key, attempt, fault.AfterCompute) ||
+		sdc := e.cfg.Plan.Fire(key, attempt, fault.SDC)
+		if sdc {
+			e.met.sdcInjected.Add(1)
+		}
+		if sdc ||
+			e.cfg.Plan.Fire(key, attempt, fault.AfterCompute) ||
 			e.cfg.Plan.Fire(key, attempt, fault.BeforeCompute) ||
 			e.cfg.Plan.Fire(key, attempt, fault.AfterNotify) {
 			e.met.injections.Add(1)
@@ -120,6 +126,9 @@ func (e *Replicated) runReplicated(key graph.Key) error {
 			e.outs[key] = a
 			e.mu.Unlock()
 			return nil
+		}
+		if sdc {
+			e.met.sdcDetected.Add(1)
 		}
 		e.mu.Lock()
 		e.mismatches++

@@ -51,6 +51,12 @@ const (
 	BeforeCompute
 	AfterCompute
 	AfterNotify
+	// SDC silently corrupts the task's freshly written output without
+	// tripping the poisoned flag or the block checksum: the task appears to
+	// complete normally and downstream reads succeed with wrong data. Only
+	// replica comparison (internal/replica) can detect it, which is what
+	// makes detection coverage testable.
+	SDC
 )
 
 func (p Point) String() string {
@@ -61,6 +67,8 @@ func (p Point) String() string {
 		return "after compute"
 	case AfterNotify:
 		return "after notify"
+	case SDC:
+		return "sdc"
 	default:
 		return "none"
 	}
@@ -119,6 +127,20 @@ func (p *Plan) Add(key graph.Key, point Point, lives int) *Plan {
 	}
 	p.m[key] = &Injection{Point: point, Lives: lives}
 	return p
+}
+
+// Clone returns a copy of the plan with all injections unfired, so one
+// planned scenario can be replayed across repeated runs. A nil plan clones
+// to nil.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	c := NewPlan()
+	for k, inj := range p.m {
+		c.m[k] = &Injection{Point: inj.Point, Lives: inj.Lives}
+	}
+	return c
 }
 
 // Len returns the number of planned injections.

@@ -25,6 +25,7 @@ var pointNames = map[Point]string{
 	BeforeCompute: "before-compute",
 	AfterCompute:  "after-compute",
 	AfterNotify:   "after-notify",
+	SDC:           "sdc",
 }
 
 // ParsePoint converts the wire name of an injection point.

@@ -6,6 +6,8 @@ import (
 
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
+	"ftdag/internal/graph"
+	"ftdag/internal/replica"
 	"ftdag/internal/stats"
 )
 
@@ -19,22 +21,41 @@ type ComparatorRow struct {
 	CleanOver  float64 // fault-free overhead % vs the FT scheduler
 	FaultyTime float64 // seconds with the fault scenario (mean)
 	Reexecuted float64 // mean re-executed computes under faults
+	Replicas   float64 // mean tasks dual-executed under the faulty scenario
+	SDCRate    float64 // detected / injected silent corruptions (0 when undetectable)
 }
 
 // Comparators benchmarks the FT scheduler against the checkpoint/restart
-// and dual-modular-redundancy executors, fault-free and under the
-// 512-equivalent after-compute scenario.
+// and dual-modular-redundancy executors — plus the FT scheduler with
+// selective replication layered on top — fault-free and under the
+// 512-equivalent after-compute scenario. The faulty plan also carries a
+// handful of silent corruptions, so each row reports how many tasks the
+// scheme dual-executed and what fraction of the SDCs that redundancy caught
+// (detected faults alone catch none of them).
 func (h *Harness) Comparators() ([]ComparatorRow, error) {
 	fmt.Fprintln(h.opts.Out, "== Recovery-scheme comparison: selective (FT) vs checkpoint/restart vs replication ==")
 	w := tabwriter.NewWriter(h.opts.Out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "app\tscheme\tclean-t\tclean-over%\tfaulty-t\treexec")
+	fmt.Fprintln(w, "app\tscheme\tclean-t\tclean-over%\tfaulty-t\treexec\treplicas\tsdc-rate")
 	var rows []ComparatorRow
 	for _, name := range AppNames {
 		a := h.App(name)
 		count := h.ScaledCount(name, 512)
 		mkPlan := func(seed int64) *fault.Plan {
-			return fault.PlanCount(a.Spec(), fault.VRand, fault.AfterCompute, count, seed)
+			p := fault.PlanCount(a.Spec(), fault.VRand, fault.AfterCompute, count, seed)
+			// A few silent corruptions on tasks the detected-fault plan does
+			// not already claim (Plan.Add overwrites per key).
+			taken := make(map[graph.Key]bool, p.Len())
+			for _, k := range p.Keys() {
+				taken[k] = true
+			}
+			for _, k := range fault.SelectTasks(a.Spec(), fault.AnyTask, 8, seed+9931) {
+				if !taken[k] {
+					p.Add(k, fault.SDC, 1)
+				}
+			}
+			return p
 		}
+		selective := replica.Select(a.Spec(), replica.Policy{Budget: 0.25})
 
 		type runner func(plan *fault.Plan) (*core.Result, error)
 		schemes := []struct {
@@ -58,11 +79,18 @@ func (h *Harness) Comparators() ([]ComparatorRow, error) {
 				}).Run()
 				return res, err
 			}},
+			{"ft-replicate-selective", func(plan *fault.Plan) (*core.Result, error) {
+				return core.NewFT(a.Spec(), core.Config{
+					Workers: h.opts.Workers, Retention: a.Retention(), Plan: plan,
+					Replicate: selective,
+				}).Run()
+			}},
 		}
 
 		var ftClean float64
 		for _, sc := range schemes {
-			var clean, faulty, reex []float64
+			var clean, faulty, reex, repl []float64
+			var injected, detected int64
 			for r := 0; r < h.opts.Runs; r++ {
 				cres, err := sc.run(nil)
 				if err != nil {
@@ -75,10 +103,17 @@ func (h *Harness) Comparators() ([]ComparatorRow, error) {
 				}
 				faulty = append(faulty, fres.Elapsed.Seconds())
 				reex = append(reex, float64(fres.ReexecutedTasks))
+				repl = append(repl, float64(fres.Metrics.ReplicatedTasks))
+				injected += fres.Metrics.SDCInjected
+				detected += fres.Metrics.SDCDetected
 			}
 			cm := stats.Summarize(clean).Mean
 			if sc.name == "ft-selective" {
 				ftClean = cm
+			}
+			rate := 0.0
+			if injected > 0 {
+				rate = float64(detected) / float64(injected)
 			}
 			row := ComparatorRow{
 				App:        name,
@@ -87,10 +122,13 @@ func (h *Harness) Comparators() ([]ComparatorRow, error) {
 				CleanOver:  stats.OverheadPercent(cm, ftClean),
 				FaultyTime: stats.Summarize(faulty).Mean,
 				Reexecuted: stats.Summarize(reex).Mean,
+				Replicas:   stats.Summarize(repl).Mean,
+				SDCRate:    rate,
 			}
 			rows = append(rows, row)
-			fmt.Fprintf(w, "%s\t%s\t%.1fms\t%.1f\t%.1fms\t%.0f\n",
-				name, sc.name, row.CleanTime*1000, row.CleanOver, row.FaultyTime*1000, row.Reexecuted)
+			fmt.Fprintf(w, "%s\t%s\t%.1fms\t%.1f\t%.1fms\t%.0f\t%.0f\t%.2f\n",
+				name, sc.name, row.CleanTime*1000, row.CleanOver, row.FaultyTime*1000,
+				row.Reexecuted, row.Replicas, row.SDCRate)
 		}
 	}
 	return rows, w.Flush()

@@ -104,11 +104,12 @@ func (h *Harness) csvComparators(rows []ComparatorRow) error {
 	for i, r := range rows {
 		out[i] = []string{
 			r.App, r.Scheme, ftoa(r.CleanTime), ftoa(r.CleanOver),
-			ftoa(r.FaultyTime), ftoa(r.Reexecuted),
+			ftoa(r.FaultyTime), ftoa(r.Reexecuted), ftoa(r.Replicas), ftoa(r.SDCRate),
 		}
 	}
 	return h.writeCSV("comparators",
-		[]string{"app", "scheme", "clean_s", "clean_over_pct", "faulty_s", "reexec"}, out)
+		[]string{"app", "scheme", "clean_s", "clean_over_pct", "faulty_s", "reexec",
+			"replicas", "sdc_rate"}, out)
 }
 
 // csvTable1 exports the static configuration table.

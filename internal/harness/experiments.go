@@ -350,7 +350,7 @@ func (h *Harness) FixedCounts() ([]OverheadRow, error) {
 }
 
 // Experiment names accepted by Run.
-var Experiments = []string{"table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7", "counts", "theory", "comparators", "retention"}
+var Experiments = []string{"table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7", "counts", "theory", "comparators", "replication", "retention"}
 
 // Run executes the named experiment ("all" for the full suite).
 func (h *Harness) Run(name string) error {
@@ -406,6 +406,11 @@ func (h *Harness) Run(name string) error {
 		var rows []ComparatorRow
 		if rows, err = h.Comparators(); err == nil {
 			err = h.csvComparators(rows)
+		}
+	case "replication":
+		var rows []ReplicationRow
+		if rows, err = h.Replication(); err == nil {
+			err = h.csvReplication(rows)
 		}
 	case "retention":
 		var rows []RetentionRow

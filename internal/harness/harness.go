@@ -29,6 +29,7 @@ import (
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
+	"ftdag/internal/replica"
 )
 
 // AppNames is the fixed presentation order used by the paper's tables.
@@ -212,6 +213,29 @@ func (h *Harness) RunFT(name string, workers int, plan *fault.Plan, verify bool)
 	if verify {
 		if err := a.VerifySink(res.Sink); err != nil {
 			return nil, fmt.Errorf("%s (P=%d): %w", name, workers, err)
+		}
+	}
+	return res, nil
+}
+
+// RunFTReplicated executes the named app once under the FT scheduler with
+// the given replica set (nil degrades to a plain FT run).
+func (h *Harness) RunFTReplicated(name string, workers int, plan *fault.Plan, set *replica.Set, verify bool) (*core.Result, error) {
+	a := h.App(name)
+	restore := gomaxprocs(workers)
+	defer restore()
+	res, err := core.NewFT(a.Spec(), core.Config{
+		Workers:   workers,
+		Retention: a.Retention(),
+		Plan:      plan,
+		Replicate: set,
+	}).Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s replicated (P=%d): %w", name, workers, err)
+	}
+	if verify {
+		if err := a.VerifySink(res.Sink); err != nil {
+			return nil, fmt.Errorf("%s replicated (P=%d): %w", name, workers, err)
 		}
 	}
 	return res, nil

@@ -205,8 +205,8 @@ func TestComparators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != len(AppNames)*3 {
-		t.Fatalf("Comparators produced %d rows, want %d", len(rows), len(AppNames)*3)
+	if len(rows) != len(AppNames)*4 {
+		t.Fatalf("Comparators produced %d rows, want %d", len(rows), len(AppNames)*4)
 	}
 	for _, r := range rows {
 		if r.CleanTime <= 0 || r.FaultyTime <= 0 {
@@ -216,9 +216,28 @@ func TestComparators(t *testing.T) {
 		if r.Scheme == "checkpoint" && r.Reexecuted == 0 {
 			t.Fatalf("checkpoint rollback re-executed nothing: %+v", r)
 		}
+		// Only the redundant schemes can catch silent corruptions, and
+		// full DMR must catch every one of them.
+		switch r.Scheme {
+		case "ft-selective", "checkpoint":
+			if r.SDCRate != 0 || r.Replicas != 0 {
+				t.Fatalf("non-redundant scheme reports replication: %+v", r)
+			}
+		case "replication":
+			if r.SDCRate != 1 {
+				t.Fatalf("full DMR missed silent corruptions: %+v", r)
+			}
+		case "ft-replicate-selective":
+			if r.Replicas <= 0 {
+				t.Fatalf("selective replication replicated nothing: %+v", r)
+			}
+		}
 	}
 	if !strings.Contains(buf.String(), "ft-selective") {
 		t.Fatal("missing ft-selective rows")
+	}
+	if !strings.Contains(buf.String(), "ft-replicate-selective") {
+		t.Fatal("missing ft-replicate-selective rows")
 	}
 }
 

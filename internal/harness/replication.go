@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"ftdag/internal/fault"
+	"ftdag/internal/replica"
+	"ftdag/internal/stats"
+)
+
+// ReplicationBudgets are the selective-replication budget points of the
+// overhead-vs-coverage sweep (0% → 100% of tasks replicated).
+var ReplicationBudgets = []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+// ReplicationRow is one point of the overhead-vs-coverage sweep: one app at
+// one replication budget, measuring both what the budget costs (overhead
+// versus a paired unreplicated run) and what it buys (the fraction of
+// injected silent corruptions the replicas catch).
+type ReplicationRow struct {
+	App     string
+	Budget  float64
+	Covered int // tasks the selection policy replicates at this budget
+	Tasks   int
+	// CleanTime / Overhead / Std: fault-free seconds at this budget and the
+	// mean ± std overhead percentage over paired unreplicated runs.
+	CleanTime float64
+	Overhead  float64
+	Std       float64
+	// Shadows is the mean shadow computes per run (the overhead's cause).
+	Shadows float64
+	// SDCInjected/SDCDetected/DetectionRate: silent corruptions injected
+	// across the whole graph, how many the covered set caught, and the
+	// resulting detection rate (the coverage the budget actually buys).
+	SDCInjected   float64
+	SDCDetected   float64
+	DetectionRate float64
+}
+
+// Replication sweeps the selective-replication budget from 0% to 100% for
+// every app: the overhead-vs-coverage trade-off curve that motivates
+// selective (rather than full) replication as an SDC recovery strategy.
+func (h *Harness) Replication() ([]ReplicationRow, error) {
+	fmt.Fprintln(h.opts.Out, "== Replication: overhead vs SDC coverage across budgets ==")
+	w := tabwriter.NewWriter(h.opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tbudget\tcovered\tclean-t\toverhead%\tshadows\tsdc-rate")
+	var rows []ReplicationRow
+	for _, name := range AppNames {
+		a := h.App(name)
+		tasks := h.Props(name).Tasks
+		nv := tasks / 8
+		if nv > 16 {
+			nv = 16
+		}
+		if nv < 2 {
+			nv = 2
+		}
+		for _, budget := range ReplicationBudgets {
+			set := replica.Select(a.Spec(), replica.Policy{Budget: budget})
+			var overs, clean, shadows []float64
+			var injected, detected int64
+			for r := 0; r < h.opts.Runs; r++ {
+				base, err := h.RunFT(name, h.opts.Workers, nil, false)
+				if err != nil {
+					return nil, err
+				}
+				res, err := h.RunFTReplicated(name, h.opts.Workers, nil, set, h.opts.Verify && r == 0)
+				if err != nil {
+					return nil, err
+				}
+				clean = append(clean, res.Elapsed.Seconds())
+				overs = append(overs, stats.OverheadPercent(res.Elapsed.Seconds(), base.Elapsed.Seconds()))
+				shadows = append(shadows, float64(res.Metrics.ShadowComputes))
+
+				// Storm silent corruptions across the whole graph (not just
+				// the covered set): the detection rate then measures the
+				// coverage this budget actually buys.
+				plan := fault.NewPlan()
+				for _, k := range fault.SelectTasks(a.Spec(), fault.AnyTask, nv, h.opts.Seed+int64(r)) {
+					plan.Add(k, fault.SDC, 1)
+				}
+				sres, err := h.RunFTReplicated(name, h.opts.Workers, plan, set, false)
+				if err != nil {
+					return nil, err
+				}
+				injected += sres.Metrics.SDCInjected
+				detected += sres.Metrics.SDCDetected
+			}
+			rate := 0.0
+			if injected > 0 {
+				rate = float64(detected) / float64(injected)
+			}
+			s := stats.Summarize(overs)
+			row := ReplicationRow{
+				App: name, Budget: budget, Covered: set.Len(), Tasks: tasks,
+				CleanTime: stats.Summarize(clean).Mean, Overhead: s.Mean, Std: s.Std,
+				Shadows:     stats.Summarize(shadows).Mean,
+				SDCInjected: float64(injected), SDCDetected: float64(detected), DetectionRate: rate,
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%s\t%.0f%%\t%d/%d\t%.1fms\t%.1f±%.1f\t%.0f\t%.2f\n",
+				name, budget*100, row.Covered, tasks, row.CleanTime*1000, row.Overhead, row.Std, row.Shadows, rate)
+		}
+	}
+	return rows, w.Flush()
+}
+
+// csvReplication exports the overhead-vs-coverage sweep.
+func (h *Harness) csvReplication(rows []ReplicationRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, ftoa(r.Budget), itoa(r.Covered), itoa(r.Tasks),
+			ftoa(r.CleanTime), ftoa(r.Overhead), ftoa(r.Std), ftoa(r.Shadows),
+			ftoa(r.SDCInjected), ftoa(r.SDCDetected), ftoa(r.DetectionRate),
+		}
+	}
+	return h.writeCSV("replication",
+		[]string{"app", "budget", "covered", "tasks", "clean_s", "overhead_pct", "std",
+			"shadow_computes", "sdc_injected", "sdc_detected", "detection_rate"}, out)
+}
+
+// RunReplicationBaseline runs the replication sweep, writes its CSV (when
+// CSV output is enabled), and records the selective-vs-full baseline JSON at
+// path (cmd/ftbench -replicaout, `make bench-replica`).
+func (h *Harness) RunReplicationBaseline(path string) error {
+	rows, err := h.Replication()
+	if err != nil {
+		return err
+	}
+	if err := h.csvReplication(rows); err != nil {
+		return err
+	}
+	return h.WriteReplicaBaseline(path, rows)
+}
+
+// replicaBaseline is the BENCH_replica.json schema: per app, the measured
+// cost/coverage of the selective default budget against full replication.
+type replicaBaseline struct {
+	Timestamp string                  `json:"timestamp"`
+	Runs      int                     `json:"runs"`
+	Workers   int                     `json:"workers"`
+	Apps      []replicaBaselineEntry  `json:"apps"`
+	Budgets   map[string][]budgetCost `json:"budgets"`
+}
+
+type replicaBaselineEntry struct {
+	App               string  `json:"app"`
+	Tasks             int     `json:"tasks"`
+	SelectiveOverhead float64 `json:"selective_overhead_pct"` // budget 0.25
+	SelectiveRate     float64 `json:"selective_detection_rate"`
+	FullOverhead      float64 `json:"full_overhead_pct"` // budget 1.0
+	FullRate          float64 `json:"full_detection_rate"`
+}
+
+type budgetCost struct {
+	Budget        float64 `json:"budget"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	DetectionRate float64 `json:"detection_rate"`
+}
+
+// WriteReplicaBaseline records the selective-vs-full replication baseline
+// (plus the full per-budget curve) as JSON at path.
+func (h *Harness) WriteReplicaBaseline(path string, rows []ReplicationRow) error {
+	b := replicaBaseline{
+		//lint:ignore detrand the baseline timestamp is provenance metadata only; it never enters a result digest
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Runs:      h.opts.Runs,
+		Workers:   h.opts.Workers,
+		Budgets:   make(map[string][]budgetCost),
+	}
+	perApp := make(map[string]*replicaBaselineEntry)
+	for _, r := range rows {
+		e := perApp[r.App]
+		if e == nil {
+			e = &replicaBaselineEntry{App: r.App, Tasks: r.Tasks}
+			perApp[r.App] = e
+		}
+		switch r.Budget {
+		case 0.25:
+			e.SelectiveOverhead, e.SelectiveRate = r.Overhead, r.DetectionRate
+		case 1.0:
+			e.FullOverhead, e.FullRate = r.Overhead, r.DetectionRate
+		}
+		b.Budgets[r.App] = append(b.Budgets[r.App],
+			budgetCost{Budget: r.Budget, OverheadPct: r.Overhead, DetectionRate: r.DetectionRate})
+	}
+	for _, name := range AppNames {
+		if e := perApp[name]; e != nil {
+			b.Apps = append(b.Apps, *e)
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

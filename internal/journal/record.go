@@ -92,6 +92,12 @@ type Record struct {
 	Payload []byte `json:"payload,omitempty"`
 	// Plan is the job's fault-plan JSON (a *fault.Plan manifest).
 	Plan json.RawMessage `json:"plan,omitempty"`
+	// Recovery is the job's recovery-policy name ("ftnabbit",
+	// "replicate-all", "replicate-selective"; empty means the default) and
+	// ReplicaBudget the selective-replication budget, both persisted so a
+	// replayed job re-runs under the strategy it was submitted with.
+	Recovery      string  `json:"recovery,omitempty"`
+	ReplicaBudget float64 `json:"replica_budget,omitempty"`
 
 	// Failed / Cancelled fields.
 	Error string `json:"error,omitempty"`

@@ -14,6 +14,10 @@ type JobState struct {
 	Name    string          `json:"name,omitempty"`
 	Payload []byte          `json:"payload,omitempty"`
 	Plan    json.RawMessage `json:"plan,omitempty"`
+	// Recovery / ReplicaBudget carry the job's recovery policy across
+	// restarts (see Record).
+	Recovery      string  `json:"recovery,omitempty"`
+	ReplicaBudget float64 `json:"replica_budget,omitempty"`
 	// State is the kind of the job's latest lifecycle record. Submitted
 	// and Started mean the job is incomplete and must be re-run after a
 	// restart.
@@ -74,6 +78,8 @@ func (st *State) apply(rec *Record) {
 		js.Name = rec.Name
 		js.Payload = rec.Payload
 		js.Plan = rec.Plan
+		js.Recovery = rec.Recovery
+		js.ReplicaBudget = rec.ReplicaBudget
 		js.SubmittedAt = rec.Time
 	case Started:
 		js.State = Started

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubmitToRunsOnTargetWorker(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	for target := 0; target < 4; target++ {
+		for i := 0; i < 8; i++ {
+			tgt := target
+			p.SubmitTo(tgt, func(w *Worker) {
+				mu.Lock()
+				if w.ID() != tgt {
+					ran[-1]++
+				}
+				ran[tgt]++
+				mu.Unlock()
+			})
+		}
+	}
+	p.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if ran[-1] != 0 {
+		t.Fatalf("%d directed jobs ran on the wrong worker", ran[-1])
+	}
+	for target := 0; target < 4; target++ {
+		if ran[target] != 8 {
+			t.Fatalf("worker %d ran %d directed jobs, want 8", target, ran[target])
+		}
+	}
+}
+
+func TestSubmitAvoidingNeverPicksAvoided(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var mu sync.Mutex
+	var violations int
+	done := make(chan struct{})
+	var remaining = 64
+	for i := 0; i < 64; i++ {
+		p.Submit(func(w *Worker) {
+			avoid := w.ID()
+			id := p.SubmitAvoiding(avoid, func(w2 *Worker) {
+				mu.Lock()
+				if w2.ID() == avoid {
+					violations++
+				}
+				if remaining--; remaining == 0 {
+					close(done)
+				}
+				mu.Unlock()
+			})
+			if id == avoid {
+				mu.Lock()
+				violations++
+				mu.Unlock()
+			}
+		})
+	}
+	p.Wait()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if violations != 0 {
+		t.Fatalf("%d placements landed on the avoided worker", violations)
+	}
+}
+
+func TestSubmitAvoidingSingleWorkerDegrades(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ran := false
+	if id := p.SubmitAvoiding(0, func(w *Worker) { ran = true }); id != 0 {
+		t.Fatalf("single-worker pool placed on %d", id)
+	}
+	p.Wait()
+	if !ran {
+		t.Fatal("directed job never ran")
+	}
+}
+
+func TestGroupSpawnAvoidingCountsTowardGroup(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := p.NewGroup()
+	var mu sync.Mutex
+	order := []string{}
+	g.Submit(func(w *Worker) {
+		g.SpawnAvoiding(w, func(w2 *Worker) {
+			mu.Lock()
+			order = append(order, "shadow")
+			mu.Unlock()
+		})
+		mu.Lock()
+		order = append(order, "primary")
+		mu.Unlock()
+	})
+	g.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 {
+		t.Fatalf("group quiesced with %d/2 jobs done", len(order))
+	}
+}

@@ -66,6 +66,14 @@ func (g *Group) Spawn(w *Worker, f Func) {
 	w.Spawn(g.wrap(f))
 }
 
+// SpawnAvoiding schedules f as part of this group on some worker other than
+// w (round-robin; on a single-worker pool it degrades to worker 0) and
+// returns the chosen worker id. Used for distinct-worker replica placement.
+func (g *Group) SpawnAvoiding(w *Worker, f Func) int {
+	g.pending.Add(1)
+	return g.pool.SubmitAvoiding(w.ID(), g.wrap(f))
+}
+
 // Pending returns the group's outstanding job count (scheduled but not yet
 // finished or skipped).
 func (g *Group) Pending() int64 { return g.pending.Load() }

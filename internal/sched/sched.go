@@ -86,6 +86,13 @@ type Worker struct {
 	dq    *deque.Deque[Func]
 	rng   uint64
 	stats counters
+
+	// Directed queue: jobs pinned to this worker by SubmitTo. Unlike deque
+	// jobs these are never stolen — replica placement relies on the pinned
+	// job actually running on this worker.
+	dirMu  sync.Mutex
+	dir    []*Func
+	dirLen atomic.Int64 // lock-free emptiness peek
 }
 
 // ID returns the worker's index in [0, P).
@@ -129,6 +136,7 @@ type Pool struct {
 	stop    atomic.Bool
 	aborted atomic.Bool
 	policy  Policy
+	rr      atomic.Int64 // round-robin cursor for SubmitAvoiding
 
 	obs atomic.Pointer[poolObs] // instrument bundle; nil until Observe
 
@@ -185,6 +193,53 @@ func (p *Pool) inject(f *Func) {
 	p.inj = append(p.inj, e)
 	p.injLen.Store(int64(len(p.inj)))
 	p.injMu.Unlock()
+}
+
+// SubmitTo schedules f to run on the specific worker id. The job goes onto
+// the worker's directed queue, which is never stolen: it is the placement
+// primitive behind distinct-worker replica execution (a replica that
+// migrated onto the same core as its twin could share the corruption it is
+// meant to catch).
+func (p *Pool) SubmitTo(id int, f Func) {
+	w := p.workers[id]
+	p.pending.Add(1)
+	w.dirMu.Lock()
+	w.dir = append(w.dir, &f)
+	w.dirLen.Store(int64(len(w.dir)))
+	w.dirMu.Unlock()
+}
+
+// SubmitAvoiding schedules f on some worker other than avoid, chosen round-
+// robin, and returns the chosen worker id. On a single-worker pool there is
+// no other worker; the job runs on worker 0 (degraded placement — callers
+// that need true physical separation must provision P >= 2).
+func (p *Pool) SubmitAvoiding(avoid int, f Func) int {
+	n := len(p.workers)
+	id := 0
+	if n > 1 {
+		id = int((p.rr.Add(1) - 1) % int64(n))
+		if id == avoid {
+			id = (id + 1) % n
+		}
+	}
+	p.SubmitTo(id, f)
+	return id
+}
+
+// takeDirected pops the oldest job pinned to this worker, if any.
+func (w *Worker) takeDirected() *Func {
+	if w.dirLen.Load() == 0 {
+		return nil
+	}
+	w.dirMu.Lock()
+	var j *Func
+	if n := len(w.dir); n > 0 {
+		j = w.dir[0]
+		w.dir = w.dir[1:]
+		w.dirLen.Store(int64(len(w.dir)))
+	}
+	w.dirMu.Unlock()
+	return j
 }
 
 // Wait blocks until every submitted and spawned job has finished, or until
@@ -274,7 +329,13 @@ func (w *Worker) run() {
 		if w.pool.aborted.Load() {
 			return // abandon queued work on abort
 		}
-		j := w.dq.PopBottom()
+		// Directed jobs run ahead of local deque work: a pinned replica
+		// gates another worker's join, so its latency matters more than
+		// preserving strict LIFO order on this worker.
+		j := w.takeDirected()
+		if j == nil {
+			j = w.dq.PopBottom()
+		}
 		if j == nil {
 			j = w.findWork()
 		}

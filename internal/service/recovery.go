@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"ftdag/internal/replica"
+)
+
+// RecoveryPolicy selects a job's fault-recovery strategy.
+type RecoveryPolicy string
+
+const (
+	// RecoverFTNabbit is the default: the paper's detected-fault recovery
+	// only (no replication; silent corruptions pass through).
+	RecoverFTNabbit RecoveryPolicy = "ftnabbit"
+	// RecoverReplicateAll runs every task twice on distinct workers with
+	// digest comparison — dual modular redundancy on top of FT-NABBIT.
+	RecoverReplicateAll RecoveryPolicy = "replicate-all"
+	// RecoverReplicateSelective replicates only the tasks the selection
+	// policy scores highest (fan-out, critical path, pins), under
+	// JobSpec.ReplicaBudget.
+	RecoverReplicateSelective RecoveryPolicy = "replicate-selective"
+)
+
+// DefaultReplicaBudget is the selective-replication budget used when
+// JobSpec.ReplicaBudget is unset: replicate the top quarter of tasks.
+const DefaultReplicaBudget = 0.25
+
+// ParseRecovery validates a recovery-policy name; the empty string means
+// the default (ftnabbit).
+func ParseRecovery(s string) (RecoveryPolicy, error) {
+	switch RecoveryPolicy(s) {
+	case "", RecoverFTNabbit:
+		return RecoverFTNabbit, nil
+	case RecoverReplicateAll:
+		return RecoverReplicateAll, nil
+	case RecoverReplicateSelective:
+		return RecoverReplicateSelective, nil
+	}
+	return "", fmt.Errorf("service: unknown recovery policy %q (want %q, %q, or %q)",
+		s, RecoverFTNabbit, RecoverReplicateAll, RecoverReplicateSelective)
+}
+
+// replicateSet resolves a job's replication set from its recovery policy;
+// nil for the default policy.
+func (spec *JobSpec) replicateSet() *replica.Set {
+	switch spec.Recovery {
+	case RecoverReplicateAll:
+		return replica.Select(spec.Spec, replica.Policy{Budget: 1})
+	case RecoverReplicateSelective:
+		b := spec.ReplicaBudget
+		if b <= 0 {
+			b = DefaultReplicaBudget
+		}
+		if b > 1 {
+			b = 1
+		}
+		return replica.Select(spec.Spec, replica.Policy{Budget: b})
+	}
+	return nil
+}
+
+// QueueFullError is the concrete error Submit returns when admission
+// control rejects a job. It wraps ErrQueueFull (errors.Is keeps working)
+// and carries a backpressure hint: how long the caller should wait before
+// retrying, estimated from the observed job-duration EWMA and the queue
+// depth. cmd/ftserve surfaces it as an HTTP Retry-After header.
+type QueueFullError struct {
+	Capacity   int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("%v (capacity %d, retry after %v)", ErrQueueFull, e.Capacity, e.RetryAfter)
+}
+
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }
+
+// retryAfterHint estimates when a queue slot will free up: the queued jobs
+// drain through MaxConcurrentJobs runners at roughly one EWMA job duration
+// per slot. Clamped to [1s, 60s] so the hint is always usable as an HTTP
+// Retry-After value even before any job has completed.
+func (s *Server) retryAfterHint(depth int) time.Duration {
+	ewma := time.Duration(s.jobDurEWMA.Load())
+	if ewma <= 0 {
+		ewma = time.Second
+	}
+	waves := depth/s.cfg.MaxConcurrentJobs + 1
+	d := ewma * time.Duration(waves)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// observeJobDuration folds one finished job's execution time into the EWMA
+// behind retryAfterHint (alpha = 1/4, integer arithmetic on nanoseconds).
+func (s *Server) observeJobDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.jobDurEWMA.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if s.jobDurEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"log"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftdag/internal/core"
@@ -93,6 +94,16 @@ type JobSpec struct {
 	Retention int
 	// Plan is the job's fault-injection plan (nil: no faults).
 	Plan *fault.Plan
+	// Recovery selects the job's recovery strategy: "" or RecoverFTNabbit
+	// (default, detected-fault recovery only), RecoverReplicateAll (every
+	// task dual-executed with digest comparison), or
+	// RecoverReplicateSelective (only the highest-scored tasks, under
+	// ReplicaBudget). Journaled with the submission, so a replayed job
+	// re-runs under the same strategy.
+	Recovery RecoveryPolicy
+	// ReplicaBudget is the fraction of tasks to replicate under
+	// RecoverReplicateSelective (0 means DefaultReplicaBudget).
+	ReplicaBudget float64
 	// VerifyChecksums validates block checksums on every read.
 	VerifyChecksums bool
 	// Deadline bounds the job's execution time (queue wait excluded);
@@ -221,6 +232,9 @@ type Server struct {
 	// submitWG tracks Submits between admission and enqueue so Close can
 	// wait for them before closing the queue channel.
 	submitWG sync.WaitGroup
+	// jobDurEWMA is the smoothed job execution time in nanoseconds, feeding
+	// the Retry-After hint on queue-full rejections (see recovery.go).
+	jobDurEWMA atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -320,6 +334,8 @@ func (s *Server) replay(st *journal.State) []*job {
 		}
 		j.spec.Name = js.Name
 		j.spec.Payload = js.Payload
+		j.spec.Recovery = RecoveryPolicy(js.Recovery)
+		j.spec.ReplicaBudget = js.ReplicaBudget
 		switch js.State {
 		case journal.Succeeded:
 			j.state = Succeeded
@@ -392,6 +408,15 @@ func (s *Server) rebuildSpec(js *journal.JobState) (JobSpec, error) {
 		}
 		spec.Plan = plan
 	}
+	// Like the fault plan, the journaled recovery policy is authoritative:
+	// the job must re-run under the strategy it was admitted with, whatever
+	// the rebuilt payload says.
+	pol, err := ParseRecovery(js.Recovery)
+	if err != nil {
+		return JobSpec{}, fmt.Errorf("service: restoring recovery policy: %w", err)
+	}
+	spec.Recovery = pol
+	spec.ReplicaBudget = js.ReplicaBudget
 	return spec, nil
 }
 
@@ -429,6 +454,14 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if spec.Spec == nil {
 		return nil, errors.New("service: JobSpec.Spec is required")
 	}
+	pol, err := ParseRecovery(string(spec.Recovery))
+	if err != nil {
+		return nil, err
+	}
+	spec.Recovery = pol
+	if spec.ReplicaBudget < 0 || spec.ReplicaBudget > 1 {
+		return nil, fmt.Errorf("service: replica budget %v out of [0, 1]", spec.ReplicaBudget)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -439,8 +472,9 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	// block by the time we get there.
 	if s.inQueue >= cap(s.queue) {
 		s.rejected++
+		depth := s.inQueue
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w (capacity %d)", ErrQueueFull, cap(s.queue))
+		return nil, &QueueFullError{Capacity: cap(s.queue), RetryAfter: s.retryAfterHint(depth)}
 	}
 	j := &job{
 		spec:      spec,
@@ -464,7 +498,10 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	// Durable before acknowledged: a failed append is a failed Submit —
 	// the job is unregistered and never enqueued.
 	if s.cfg.Journal != nil {
-		rec := journal.Record{Kind: journal.Submitted, ID: j.id, Name: spec.Name, Payload: spec.Payload}
+		rec := journal.Record{
+			Kind: journal.Submitted, ID: j.id, Name: spec.Name, Payload: spec.Payload,
+			Recovery: string(spec.Recovery), ReplicaBudget: spec.ReplicaBudget,
+		}
 		if spec.Plan != nil {
 			b, err := json.Marshal(spec.Plan)
 			if err != nil {
@@ -541,6 +578,7 @@ func (s *Server) runJob(j *job) {
 	exec := core.NewFT(j.spec.Spec, core.Config{
 		Retention:       j.spec.Retention,
 		Plan:            j.spec.Plan,
+		Replicate:       j.spec.replicateSet(),
 		VerifyChecksums: j.spec.VerifyChecksums,
 		Cancel:          j.cancel,
 		Trace:           j.trace,
@@ -616,6 +654,9 @@ func (s *Server) finish(j *job, res *core.Result, err error) {
 	}
 	skipJournal := j.shutdownAbort
 	deadlineMiss := j.deadlineHit && state == Cancelled
+	if state == Succeeded && !j.started.IsZero() {
+		s.observeJobDuration(j.finished.Sub(j.started))
+	}
 	j.mu.Unlock()
 	if o := s.obs; o != nil {
 		switch state {
@@ -831,6 +872,12 @@ func addMetrics(a *core.Metrics, b core.Metrics) {
 	a.Notifications += b.Notifications
 	a.InjectionsFired += b.InjectionsFired
 	a.OverwriteMarks += b.OverwriteMarks
+	a.ReplicatedTasks += b.ReplicatedTasks
+	a.ShadowComputes += b.ShadowComputes
+	a.ShadowFailures += b.ShadowFailures
+	a.SDCInjected += b.SDCInjected
+	a.SDCDetected += b.SDCDetected
+	a.SDCMissed += b.SDCMissed
 }
 
 // Status is an immutable snapshot of one job.
@@ -841,6 +888,10 @@ type Status struct {
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
 	Finished  time.Time `json:"finished"`
+	// Recovery / ReplicaBudget report the job's recovery strategy
+	// ("ftnabbit" is omitted as the default).
+	Recovery      string  `json:"recovery,omitempty"`
+	ReplicaBudget float64 `json:"replica_budget,omitempty"`
 	// Error is the terminal error message ("" on success or while the
 	// job is still queued/running).
 	Error string `json:"error,omitempty"`
@@ -870,6 +921,10 @@ func (j *job) status() Status {
 	}
 	st.SinkDigest = j.sinkDigest
 	st.Restored = j.restored
+	if j.spec.Recovery != "" && j.spec.Recovery != RecoverFTNabbit {
+		st.Recovery = string(j.spec.Recovery)
+		st.ReplicaBudget = j.spec.ReplicaBudget
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}

@@ -43,6 +43,13 @@ const (
 	// Overwritten: the task's output version was evicted; Arg is the
 	// evicting writer.
 	Overwritten
+	// SDCInject: the fault plan silently corrupted the task's output
+	// (no poisoned flag, checksum recomputed — only replica comparison can
+	// see it).
+	SDCInject
+	// SDCDetect: replica digest comparison caught a silent corruption; Arg
+	// is the worker that ran the shadow replica.
+	SDCDetect
 )
 
 var kindNames = [...]string{
@@ -55,6 +62,8 @@ var kindNames = [...]string{
 	Notify:       "notify",
 	Completed:    "completed",
 	Overwritten:  "overwritten",
+	SDCInject:    "sdc-inject",
+	SDCDetect:    "sdc-detect",
 }
 
 func (k Kind) String() string {
