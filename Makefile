@@ -8,12 +8,13 @@
 #   make bench-service — record the service throughput baseline
 #   make bench-replica — record the replication overhead-vs-coverage baseline
 #   make benchobs — gate: disabled instrumentation must cost <= 2 ns/op
+#   make benchsched — gate: allocation-free spawn cycle + throughput floor
 
 GO ?= go
 
-.PHONY: ci build test vet lint race build386 soak crashsoak sdcsoak fuzz bench-service bench-replica benchobs
+.PHONY: ci build test vet lint race build386 soak crashsoak sdcsoak fuzz bench-service bench-replica benchobs benchsched
 
-ci: build test vet lint race build386 sdcsoak
+ci: build test vet lint race build386 sdcsoak benchsched
 
 # Tier-1 gate (ROADMAP.md): must stay green on every PR.
 build:
@@ -87,3 +88,15 @@ bench-replica:
 # not part of `ci`; run it when touching internal/metrics or call sites.
 benchobs:
 	$(GO) run ./cmd/ftmetrics -max-disabled-ns 2.0 -out BENCH_metrics.json
+
+# Scheduler fast-path gate (BENCH_sched.json), part of `ci`. Two checks:
+# the steady-state spawn→execute cycle must stay allocation-free (exact —
+# one alloc/op here multiplies across every task-graph edge), and the
+# 40-job quick service load must clear a throughput floor. The floor is a
+# deliberate tripwire well below steady state (~250 jobs/s on an otherwise
+# idle single-core box) because wall-clock throughput on shared hardware
+# swings ±30%; it catches serialization bugs (lost wakeups, deadlocked
+# shards), not percent-level drift — the alloc gate and the recorded
+# latency quantiles are the precise regression signals.
+benchsched:
+	$(GO) run ./cmd/ftsched -jobs 40 -workers 4 -min-jobs-per-sec 100 -max-spawn-allocs 0 -out BENCH_sched.json

@@ -44,11 +44,15 @@ type summaryJSON struct {
 	Mean float64 `json:"mean"`
 	Std  float64 `json:"std"`
 	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
 	Max  float64 `json:"max"`
 }
 
 func toSummaryJSON(s stats.Summary) summaryJSON {
-	return summaryJSON{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min, Max: s.Max}
+	return summaryJSON{N: s.N, Mean: s.Mean, Std: s.Std, Min: s.Min,
+		P50: s.P50, P95: s.P95, P99: s.P99, Max: s.Max}
 }
 
 // runLoad drives n concurrent jobs (the five app kernels round-robin, every

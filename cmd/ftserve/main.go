@@ -74,16 +74,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		workers  = flag.Int("workers", 0, "shared pool size (0: GOMAXPROCS)")
-		maxJobs  = flag.Int("maxjobs", 4, "max concurrently executing jobs")
-		queue    = flag.Int("queue", 64, "admission queue capacity")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 0, "shared pool size (0: GOMAXPROCS)")
+		maxJobs   = flag.Int("maxjobs", 4, "max concurrently executing jobs")
+		queue     = flag.Int("queue", 64, "admission queue capacity")
 		dataDir   = flag.String("data-dir", "", "journal directory for durable jobs (empty: in-memory only)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
 		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget for in-flight jobs")
-		load     = flag.Int("load", 0, "load-generator mode: drive N jobs in-process and exit")
-		loadSize = flag.String("loadsize", "quick", "load-mode problem sizes: quick or bench")
-		benchOut = flag.String("benchout", "BENCH_service.json", "load-mode results file (empty: stdout only)")
+		load      = flag.Int("load", 0, "load-generator mode: drive N jobs in-process and exit")
+		loadSize  = flag.String("loadsize", "quick", "load-mode problem sizes: quick or bench")
+		benchOut  = flag.String("benchout", "BENCH_service.json", "load-mode results file (empty: stdout only)")
 	)
 	flag.Parse()
 

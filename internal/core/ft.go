@@ -406,9 +406,21 @@ func (e *FT) runCompute(w *sched.Worker, t *Task, capture map[graph.Key][]float6
 	return ctx.out, nil
 }
 
+// notifyBatchSize is how many successors one spawned drain job notifies.
+// Chunking amortizes the per-spawn cost (group and pool pending counters,
+// deque push, wake check) over the batch while keeping the fan-out
+// stealable at chunk granularity; 8 keeps a task with a handful of
+// successors on one job and splits the big broadcast nodes across workers.
+const notifyBatchSize = 8
+
 // finishAndNotify marks t Computed and drains its notify array (spawning
-// one notifySuccessor per entry, re-checking under the lock until the array
-// stops growing), then fires any planned after-notify fault.
+// one notifySuccessor batch per notifyBatchSize entries, re-checking under
+// the lock until the array stops growing), then fires any planned
+// after-notify fault. The spawned jobs reference frozen sub-ranges of
+// t.notify directly — entries below the observed length are never rewritten
+// and a concurrent append that grows the array leaves the old backing array
+// intact — so the drain copies no keys and allocates only one closure per
+// batch rather than one per successor.
 func (e *FT) finishAndNotify(w *sched.Worker, t *Task) {
 	if h := e.cfg.Hooks.OnComputed; h != nil {
 		h(t.key, t.life)
@@ -418,18 +430,23 @@ func (e *FT) finishAndNotify(w *sched.Worker, t *Task) {
 	notified := 0
 	for {
 		t.mu.Lock()
-		if notified == len(t.notify) {
+		total := len(t.notify)
+		if notified == total {
 			t.status.Store(int32(Completed))
 			t.mu.Unlock()
 			e.cfg.Trace.Emit(trace.Completed, t.key, t.life, int64(notified))
 			break
 		}
-		batch := append([]graph.Key(nil), t.notify[notified:]...)
+		fresh := t.notify[notified:total:total]
 		t.mu.Unlock()
-		notified += len(batch)
-		for _, skey := range batch {
-			sk := skey
-			e.spawn(w, func(w *sched.Worker) { e.notifySuccessor(w, t.key, sk) })
+		notified = total
+		for start := 0; start < len(fresh); start += notifyBatchSize {
+			batch := fresh[start:min(start+notifyBatchSize, len(fresh))]
+			e.spawn(w, func(w *sched.Worker) {
+				for _, sk := range batch {
+					e.notifySuccessor(w, t.key, sk)
+				}
+			})
 		}
 	}
 	if e.plan.Fire(t.key, t.life, fault.AfterNotify) {

@@ -69,11 +69,13 @@ func (h *Harness) csvTable2(rows []Table2Row) error {
 	for i, r := range rows {
 		out[i] = []string{
 			r.App, r.Type.String(), itoa(r.Count),
-			ftoa(r.Summary.Mean), ftoa(r.Summary.Min), ftoa(r.Summary.Max), ftoa(r.Summary.Std),
+			ftoa(r.Summary.Mean), ftoa(r.Summary.Min),
+			ftoa(r.Summary.P50), ftoa(r.Summary.P95), ftoa(r.Summary.P99),
+			ftoa(r.Summary.Max), ftoa(r.Summary.Std),
 		}
 	}
 	return h.writeCSV("table2",
-		[]string{"app", "type", "injected", "avg", "min", "max", "std"}, out)
+		[]string{"app", "type", "injected", "avg", "min", "p50", "p95", "p99", "max", "std"}, out)
 }
 
 // csvFig7 exports Figure 7 rows.

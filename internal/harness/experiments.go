@@ -209,7 +209,7 @@ type Table2Row struct {
 func (h *Harness) Table2() ([]Table2Row, error) {
 	fmt.Fprintln(h.opts.Out, "== Table II: re-executed tasks, after-notify faults (512-equivalent) ==")
 	w := tabwriter.NewWriter(h.opts.Out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "app\ttype\tinjected\tavg\tmin\tmax\tstd")
+	fmt.Fprintln(w, "app\ttype\tinjected\tavg\tmin\tp50\tp95\tp99\tmax\tstd")
 	var rows []Table2Row
 	for _, name := range AppNames {
 		count := h.ScaledCount(name, 512)
@@ -225,8 +225,8 @@ func (h *Harness) Table2() ([]Table2Row, error) {
 			}
 			s := stats.SummarizeInts(reex)
 			rows = append(rows, Table2Row{App: name, Type: ty, Count: count, Summary: s})
-			fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
-				name, ty, count, s.Mean, s.Min, s.Max, s.Std)
+			fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+				name, ty, count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max, s.Std)
 		}
 	}
 	return rows, w.Flush()

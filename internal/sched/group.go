@@ -12,12 +12,14 @@ import (
 // executions — each execution waits on (and cancels) only its own group,
 // while Pool.Wait/Pool.Abort retain their whole-pool semantics.
 //
-// Every function routed through Submit/Spawn is wrapped so that (a) an
-// aborted group's queued work becomes a no-op instead of being discarded —
-// the pool's pending count still drains normally, so other groups' progress
-// and the pool's own quiescence are unaffected — and (b) the group reaches
-// its own quiescence exactly when its last wrapped function (and everything
-// transitively spawned from it through the group) has finished.
+// Every function routed through Submit/Spawn carries the group in its job
+// record (not a wrapper closure — the spawn path stays allocation-free);
+// the worker loop applies the group contract: (a) an aborted group's queued
+// work becomes a no-op instead of being discarded — the pool's pending
+// count still drains normally, so other groups' progress and the pool's
+// own quiescence are unaffected — and (b) the group reaches its own
+// quiescence exactly when its last function (and everything transitively
+// spawned from it through the group) has finished or been skipped.
 type Group struct {
 	pool    *Pool
 	pending atomic.Int64
@@ -37,25 +39,10 @@ func (p *Pool) NewGroup() *Group {
 // Pool returns the pool the group schedules onto.
 func (g *Group) Pool() *Pool { return g.pool }
 
-// wrap ties f's execution to the group: skipped after abort, counted toward
-// the group's quiescence either way.
-func (g *Group) wrap(f Func) Func {
-	return func(w *Worker) {
-		if !g.aborted.Load() {
-			f(w)
-		}
-		if g.pending.Add(-1) == 0 {
-			g.mu.Lock()
-			g.cond.Broadcast()
-			g.mu.Unlock()
-		}
-	}
-}
-
 // Submit schedules f from outside the pool as part of this group.
 func (g *Group) Submit(f Func) {
 	g.pending.Add(1)
-	g.pool.Submit(g.wrap(f))
+	g.pool.submitJob(job{fn: f, g: g})
 }
 
 // Spawn schedules f from a job running on w as part of this group. Like
@@ -63,7 +50,7 @@ func (g *Group) Submit(f Func) {
 // own deque (or the shared queue under the central-queue policy).
 func (g *Group) Spawn(w *Worker, f Func) {
 	g.pending.Add(1)
-	w.Spawn(g.wrap(f))
+	w.spawnJob(job{fn: f, g: g})
 }
 
 // SpawnAvoiding schedules f as part of this group on some worker other than
@@ -71,7 +58,7 @@ func (g *Group) Spawn(w *Worker, f Func) {
 // returns the chosen worker id. Used for distinct-worker replica placement.
 func (g *Group) SpawnAvoiding(w *Worker, f Func) int {
 	g.pending.Add(1)
-	return g.pool.SubmitAvoiding(w.ID(), g.wrap(f))
+	return g.pool.submitAvoidingJob(w.ID(), job{fn: f, g: g})
 }
 
 // Pending returns the group's outstanding job count (scheduled but not yet

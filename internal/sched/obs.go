@@ -33,18 +33,22 @@ func (p *Pool) Observe(r *metrics.Registry) {
 		func() float64 { return float64(p.StatsSnapshot().Steals) })
 	r.CounterFunc("ftdag_failed_steals_total", "Steal attempts that found nothing or lost a race.",
 		func() float64 { return float64(p.StatsSnapshot().FailedSteals) })
-	r.CounterFunc("ftdag_injector_hits_total", "Jobs taken from the external submission queue.",
+	r.CounterFunc("ftdag_injector_hits_total", "Jobs taken from the external submission shards.",
 		func() float64 { return float64(p.StatsSnapshot().InjectorHits) })
+	r.CounterFunc("ftdag_sched_parks_total", "Times a worker parked waiting for a wake token.",
+		func() float64 { return float64(p.StatsSnapshot().Parks) })
 	r.GaugeFunc("ftdag_sched_workers", "Workers in the pool.",
 		func() float64 { return float64(len(p.workers)) })
-	r.GaugeFunc("ftdag_injector_depth", "Jobs waiting in the external submission queue.",
+	r.GaugeFunc("ftdag_sched_parked_workers", "Workers currently on the parked stack.",
+		func() float64 { return float64(p.parkedCount.Load()) })
+	r.GaugeFunc("ftdag_injector_depth", "Jobs waiting across the external submission shards and overflow.",
 		func() float64 { return float64(p.injLen.Load()) })
 	for _, w := range p.workers {
 		w := w
 		id := strconv.Itoa(w.id)
 		r.CounterFunc("ftdag_worker_busy_seconds_total", "Time the worker spent executing jobs.",
 			func() float64 { return float64(w.stats.busyNanos.Load()) / 1e9 }, "worker", id)
-		r.CounterFunc("ftdag_worker_idle_seconds_total", "Time the worker spent backing off with no work.",
+		r.CounterFunc("ftdag_worker_idle_seconds_total", "Time the worker spent parked with no work.",
 			func() float64 { return float64(w.stats.idleNanos.Load()) / 1e9 }, "worker", id)
 	}
 	o := &poolObs{

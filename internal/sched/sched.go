@@ -8,13 +8,25 @@
 // scheduling discipline assumed by the paper's completion-time bounds
 // (Arora–Blumofe–Plaxton / Blumofe–Leiserson: T_P = O(T1/P + T∞) w.h.p.).
 //
+// The hot path is engineered to stay lock-free and allocation-free:
+//
+//   - External submission goes through per-worker bounded MPMC ring shards
+//     (injector.go) instead of a global mutex — Submit round-robins across
+//     shards, workers drain their own shard first, FIFO within a shard.
+//   - Idle workers park on a Treiber stack and are woken by submit/spawn in
+//     microseconds (park.go) instead of polling with exponential sleep
+//     backoff, so IdleTime measures genuine starvation, not sleep quanta.
+//   - Spawn recycles fixed job slots through per-worker free-lists, and
+//     group membership travels as a field of the job record rather than a
+//     wrapper closure, so the spawn→execute cycle performs zero heap
+//     allocations in steady state.
+//
 // The task-graph executors in internal/core express every traversal step
 // (TRYINITCOMPUTE, INITANDCOMPUTE, NOTIFYSUCCESSOR, …) as a spawned job.
 package sched
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,26 +38,40 @@ import (
 // further spawns land on that worker's own deque, as in Cilk.
 type Func func(w *Worker)
 
+// job is the scheduler's internal unit of work: the function plus the
+// group it is accounted to (nil for ungrouped work) and, on observed pools,
+// the injector enqueue time. Groups used to wrap every function in a
+// closure to attach abort/quiescence bookkeeping; carrying the group as a
+// field instead keeps the spawn path allocation-free and the bookkeeping
+// inline in the worker loop.
+type job struct {
+	fn Func
+	g  *Group
+	at time.Time // injector enqueue time; set only on observed pools
+}
+
 // Stats aggregates scheduler counters across all workers of a Pool run.
 type Stats struct {
 	Jobs         int64         // jobs executed
 	Spawns       int64         // jobs pushed by running jobs
 	Steals       int64         // successful steals
 	FailedSteals int64         // steal attempts that found nothing or lost a race
-	InjectorHits int64         // jobs taken from the external submission queue
-	IdleTime     time.Duration // total time workers spent backing off
+	InjectorHits int64         // jobs taken from the external submission shards
+	Parks        int64         // times a worker parked (blocked waiting for a wake token)
+	IdleTime     time.Duration // total time workers spent parked
 	BusyTime     time.Duration // total time workers spent executing jobs (observed pools only)
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("jobs=%d spawns=%d steals=%d failedSteals=%d injectorHits=%d idle=%v",
-		s.Jobs, s.Spawns, s.Steals, s.FailedSteals, s.InjectorHits, s.IdleTime)
+	return fmt.Sprintf("jobs=%d spawns=%d steals=%d failedSteals=%d injectorHits=%d parks=%d idle=%v",
+		s.Jobs, s.Spawns, s.Steals, s.FailedSteals, s.InjectorHits, s.Parks, s.IdleTime)
 }
 
 // Policy selects the pool's scheduling discipline. WorkStealing is the
 // NABBIT/Cilk discipline the paper's bounds assume; CentralQueue is an
-// ablation baseline where every spawn goes through one shared FIFO queue,
-// exposing the contention and lost locality that work stealing avoids.
+// ablation baseline where every spawn goes through one shared FIFO queue
+// (shard 0 of the injector), exposing the contention and lost locality that
+// work stealing avoids.
 type Policy int
 
 const (
@@ -75,6 +101,7 @@ type counters struct {
 	steals       atomic.Int64
 	failedSteals atomic.Int64
 	injectorHits atomic.Int64
+	parks        atomic.Int64
 	idleNanos    atomic.Int64
 	busyNanos    atomic.Int64 // job execution time; sampled only on observed pools
 }
@@ -83,15 +110,29 @@ type counters struct {
 type Worker struct {
 	pool  *Pool
 	id    int
-	dq    *deque.Deque[Func]
+	dq    *deque.Deque[job]
 	rng   uint64
 	stats counters
+
+	// free is the worker-local free-list of deque job slots. It is touched
+	// only by the owning goroutine (Spawn allocates from the spawner, the
+	// executing worker — owner or thief — recycles into its own list), so
+	// it needs no synchronization. Bounded so a pathological spawn burst
+	// degrades to the allocator instead of hoarding memory.
+	free []*job
+
+	// Parking state (park.go): parkNext links this worker into the parked
+	// stack, onStack guards against double-push (set by the worker, cleared
+	// by the popper), parkCh carries at most one pending wake token.
+	parkNext atomic.Int32
+	onStack  atomic.Bool
+	parkCh   chan struct{}
 
 	// Directed queue: jobs pinned to this worker by SubmitTo. Unlike deque
 	// jobs these are never stolen — replica placement relies on the pinned
 	// job actually running on this worker.
 	dirMu  sync.Mutex
-	dir    []*Func
+	dir    []job
 	dirLen atomic.Int64 // lock-free emptiness peek
 }
 
@@ -105,32 +146,73 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // pushed onto this worker's own deque (LIFO, stealable FIFO); under the
 // central-queue ablation policy it goes through the shared queue. Must be
 // called from a job running on w.
-func (w *Worker) Spawn(f Func) {
-	w.pool.pending.Add(1)
+func (w *Worker) Spawn(f Func) { w.spawnJob(job{fn: f}) }
+
+func (w *Worker) spawnJob(j job) {
+	p := w.pool
+	p.pending.Add(1)
 	w.stats.spawns.Add(1)
-	if w.pool.policy == CentralQueue {
-		w.pool.inject(&f)
+	if p.policy == CentralQueue {
+		p.injectJob(j)
+		p.wakeOne()
 		return
 	}
-	w.dq.PushBottom(&f)
+	s := w.newSlot()
+	*s = j
+	w.dq.PushBottom(s)
+	// One atomic load in the saturated steady state; a wake only when
+	// someone is actually parked.
+	if p.parkHead.Load() != 0 {
+		p.wakeOne()
+	}
 }
 
-// injEntry is one job in the external submission queue. at is the enqueue
-// time, set only on observed pools so the unobserved path never reads the
-// clock.
-type injEntry struct {
-	f  *Func
-	at time.Time
+// newSlot takes a job slot from the worker's free-list, falling back to the
+// allocator when the list is empty (cold start, or a burst that outran
+// recycling).
+func (w *Worker) newSlot() *job {
+	if n := len(w.free); n > 0 {
+		s := w.free[n-1]
+		w.free = w.free[:n-1]
+		return s
+	}
+	return new(job)
 }
+
+// putSlot recycles an executed job's slot into this worker's free-list,
+// dropping it for the garbage collector when the list is full.
+func (w *Worker) putSlot(s *job) {
+	*s = job{} // release the closure and group for GC
+	if len(w.free) < cap(w.free) {
+		w.free = append(w.free, s)
+	}
+}
+
+// slotFreeListCap bounds each worker's slot free-list. Steals migrate slots
+// between workers' lists, so the bound also caps the drift.
+const slotFreeListCap = 256
 
 // Pool is a fixed-size work-stealing worker pool.
 type Pool struct {
 	workers []*Worker
 	wg      sync.WaitGroup
 
-	injMu  sync.Mutex
-	inj    []injEntry
-	injLen atomic.Int64 // lock-free emptiness peek for idle workers
+	// shards is the sharded external submission queue (injector.go), one
+	// bounded MPMC ring per worker. injLen counts jobs across all shards
+	// plus the overflow queue — the idle workers' emptiness peek and the
+	// observability depth gauge.
+	shards []*injRing
+	injLen atomic.Int64
+	injRR  atomic.Uint64 // round-robin shard cursor for external Submit
+
+	// ovf is the overload relief valve: jobs that found every shard full.
+	ovfMu sync.Mutex
+	ovf   []job
+
+	// Parking (park.go): packed {version,id} head of the parked-worker
+	// stack, plus a count for observability.
+	parkHead    atomic.Uint64
+	parkedCount atomic.Int64
 
 	pending atomic.Int64 // submitted + spawned - completed
 	stop    atomic.Bool
@@ -154,15 +236,22 @@ func NewPoolWithPolicy(p int, policy Policy) *Pool {
 	if p < 1 {
 		panic("sched: pool size must be >= 1")
 	}
+	if p > maxWorkers {
+		panic(fmt.Sprintf("sched: pool size %d exceeds the %d-worker limit", p, maxWorkers))
+	}
 	pool := &Pool{policy: policy}
 	pool.quiesceCond = sync.NewCond(&pool.quiesceMu)
 	pool.workers = make([]*Worker, p)
+	pool.shards = make([]*injRing, p)
 	for i := 0; i < p; i++ {
+		pool.shards[i] = newInjRing()
 		pool.workers[i] = &Worker{
-			pool: pool,
-			id:   i,
-			dq:   deque.New[Func](),
-			rng:  uint64(i)*0x9E3779B97F4A7C15 + 0x1234567F,
+			pool:   pool,
+			id:     i,
+			dq:     deque.New[job](),
+			rng:    uint64(i)*0x9E3779B97F4A7C15 + 0x1234567F,
+			free:   make([]*job, 0, slotFreeListCap),
+			parkCh: make(chan struct{}, 1),
 		}
 	}
 	pool.wg.Add(p)
@@ -177,22 +266,55 @@ func (p *Pool) Size() int { return len(p.workers) }
 
 // Submit schedules f from outside the pool (e.g. the root of a task-graph
 // traversal). Jobs submitted here are picked up by idle workers.
-func (p *Pool) Submit(f Func) {
+func (p *Pool) Submit(f Func) { p.submitJob(job{fn: f}) }
+
+func (p *Pool) submitJob(j job) {
 	p.pending.Add(1)
-	p.inject(&f)
+	p.injectJob(j)
+	p.wakeOne()
 }
 
-// inject appends a job to the external submission queue, stamping the
-// enqueue time when the pool is observed (queue-wait histogram).
-func (p *Pool) inject(f *Func) {
-	e := injEntry{f: f}
+// injectJob places a job into the sharded submission queue, stamping the
+// enqueue time when the pool is observed (queue-wait histogram). External
+// submissions round-robin across shards; the central-queue ablation policy
+// funnels everything through shard 0 to preserve its single-FIFO semantics.
+func (p *Pool) injectJob(j job) {
 	if p.obs.Load() != nil {
-		e.at = time.Now()
+		j.at = time.Now()
 	}
-	p.injMu.Lock()
-	p.inj = append(p.inj, e)
-	p.injLen.Store(int64(len(p.inj)))
-	p.injMu.Unlock()
+	n := len(p.shards)
+	start := 0
+	if p.policy != CentralQueue && n > 1 {
+		start = int(p.injRR.Add(1)-1) % n
+	}
+	for i := 0; i < n; i++ {
+		if p.shards[(start+i)%n].enqueue(j) {
+			p.injLen.Add(1)
+			return
+		}
+	}
+	p.ovfMu.Lock()
+	p.ovf = append(p.ovf, j)
+	p.ovfMu.Unlock()
+	p.injLen.Add(1)
+}
+
+// takeOverflow pops the oldest overflow job, if any.
+func (p *Pool) takeOverflow() (job, bool) {
+	p.ovfMu.Lock()
+	if len(p.ovf) == 0 {
+		p.ovfMu.Unlock()
+		return job{}, false
+	}
+	j := p.ovf[0]
+	p.ovf[0] = job{}
+	p.ovf = p.ovf[1:]
+	if len(p.ovf) == 0 {
+		p.ovf = nil // let the spilled backing array go
+	}
+	p.ovfMu.Unlock()
+	p.injLen.Add(-1)
+	return j, true
 }
 
 // SubmitTo schedules f to run on the specific worker id. The job goes onto
@@ -200,13 +322,19 @@ func (p *Pool) inject(f *Func) {
 // primitive behind distinct-worker replica execution (a replica that
 // migrated onto the same core as its twin could share the corruption it is
 // meant to catch).
-func (p *Pool) SubmitTo(id int, f Func) {
+func (p *Pool) SubmitTo(id int, f Func) { p.submitToJob(id, job{fn: f}) }
+
+func (p *Pool) submitToJob(id int, j job) {
 	w := p.workers[id]
 	p.pending.Add(1)
 	w.dirMu.Lock()
-	w.dir = append(w.dir, &f)
+	w.dir = append(w.dir, j)
 	w.dirLen.Store(int64(len(w.dir)))
 	w.dirMu.Unlock()
+	// The target may be parked; a pinned job cannot be handed to anyone
+	// else, so deliver the token directly (harmless if it is running — the
+	// token is consumed as a spurious wake at its next park).
+	p.wakeWorker(w)
 }
 
 // SubmitAvoiding schedules f on some worker other than avoid, chosen round-
@@ -214,6 +342,10 @@ func (p *Pool) SubmitTo(id int, f Func) {
 // no other worker; the job runs on worker 0 (degraded placement — callers
 // that need true physical separation must provision P >= 2).
 func (p *Pool) SubmitAvoiding(avoid int, f Func) int {
+	return p.submitAvoidingJob(avoid, job{fn: f})
+}
+
+func (p *Pool) submitAvoidingJob(avoid int, j job) int {
 	n := len(p.workers)
 	id := 0
 	if n > 1 {
@@ -222,24 +354,29 @@ func (p *Pool) SubmitAvoiding(avoid int, f Func) int {
 			id = (id + 1) % n
 		}
 	}
-	p.SubmitTo(id, f)
+	p.submitToJob(id, j)
 	return id
 }
 
 // takeDirected pops the oldest job pinned to this worker, if any.
-func (w *Worker) takeDirected() *Func {
+func (w *Worker) takeDirected() (job, bool) {
 	if w.dirLen.Load() == 0 {
-		return nil
+		return job{}, false
 	}
 	w.dirMu.Lock()
-	var j *Func
-	if n := len(w.dir); n > 0 {
-		j = w.dir[0]
-		w.dir = w.dir[1:]
-		w.dirLen.Store(int64(len(w.dir)))
+	if len(w.dir) == 0 {
+		w.dirMu.Unlock()
+		return job{}, false
 	}
+	j := w.dir[0]
+	w.dir[0] = job{}
+	w.dir = w.dir[1:]
+	if len(w.dir) == 0 {
+		w.dir = nil
+	}
+	w.dirLen.Store(int64(len(w.dir)))
 	w.dirMu.Unlock()
-	return j
+	return j, true
 }
 
 // Wait blocks until every submitted and spawned job has finished, or until
@@ -261,6 +398,7 @@ func (p *Pool) Wait() {
 func (p *Pool) Abort() {
 	p.aborted.Store(true)
 	p.stop.Store(true)
+	p.wakeAll()
 	p.quiesceMu.Lock()
 	p.quiesceCond.Broadcast()
 	p.quiesceMu.Unlock()
@@ -292,6 +430,7 @@ func (p *Pool) WaitTimeout(d time.Duration) bool {
 func (p *Pool) Close() Stats {
 	p.Wait()
 	p.stop.Store(true)
+	p.wakeAll()
 	p.wg.Wait()
 	return p.StatsSnapshot()
 }
@@ -307,6 +446,7 @@ func (p *Pool) StatsSnapshot() Stats {
 		s.Steals += w.stats.steals.Load()
 		s.FailedSteals += w.stats.failedSteals.Load()
 		s.InjectorHits += w.stats.injectorHits.Load()
+		s.Parks += w.stats.parks.Load()
 		s.IdleTime += time.Duration(w.stats.idleNanos.Load())
 		s.BusyTime += time.Duration(w.stats.busyNanos.Load())
 	}
@@ -323,100 +463,164 @@ func Run(p int, root Func) Stats {
 
 func (w *Worker) run() {
 	defer w.pool.wg.Done()
-	backoff := time.Microsecond
-	const maxBackoff = 256 * time.Microsecond
 	for {
 		if w.pool.aborted.Load() {
 			return // abandon queued work on abort
 		}
-		// Directed jobs run ahead of local deque work: a pinned replica
-		// gates another worker's join, so its latency matters more than
-		// preserving strict LIFO order on this worker.
-		j := w.takeDirected()
-		if j == nil {
-			j = w.dq.PopBottom()
-		}
-		if j == nil {
-			j = w.findWork()
-		}
-		if j == nil {
+		j, ok := w.takeAny()
+		if !ok {
 			if w.pool.stop.Load() {
 				return
 			}
-			start := time.Now()
-			if backoff < 8*time.Microsecond {
-				runtime.Gosched()
-			} else {
-				time.Sleep(backoff)
+			j, ok = w.park()
+			if !ok {
+				continue // woken (or stopping): rescan from the top
 			}
-			w.stats.idleNanos.Add(int64(time.Since(start)))
-			if backoff < maxBackoff {
-				backoff *= 2
-			}
-			continue
 		}
-		backoff = time.Microsecond
-		if w.pool.obs.Load() != nil {
-			busyStart := time.Now()
-			(*j)(w)
-			w.stats.busyNanos.Add(int64(time.Since(busyStart)))
-		} else {
-			(*j)(w)
-		}
-		if w.pool.pending.Add(-1) == 0 {
-			w.pool.quiesceMu.Lock()
-			w.pool.quiesceCond.Broadcast()
-			w.pool.quiesceMu.Unlock()
-		}
-		w.stats.jobs.Add(1)
+		w.exec(j)
 	}
 }
 
-// findWork tries the external injector, then a round of random steal
-// attempts against the other workers.
-func (w *Worker) findWork() *Func {
+// takeAny finds the next job: directed queue, then the worker's own deque,
+// then the injector shards and other workers' deques. Directed jobs run
+// ahead of local deque work: a pinned replica gates another worker's join,
+// so its latency matters more than preserving strict LIFO order here.
+func (w *Worker) takeAny() (job, bool) {
+	if j, ok := w.takeDirected(); ok {
+		return j, true
+	}
+	if s := w.dq.PopBottom(); s != nil {
+		j := *s
+		w.putSlot(s)
+		return j, true
+	}
+	return w.findWork()
+}
+
+// park blocks the worker until a producer wakes it. It returns a job if the
+// post-publish recheck found one (closing the race with a producer that saw
+// an empty parked stack), otherwise after a wake token with no job — the
+// caller rescans. Park time is accounted as idle: with wake-on-submit the
+// counter now measures genuine starvation rather than sleep quanta.
+func (w *Worker) park() (job, bool) {
+	p := w.pool
+	p.pushParked(w)
+	if j, ok := w.takeAny(); ok {
+		// Still on the stack with work in hand: a producer may pop and
+		// wake us redundantly; the token is consumed as a spurious wake
+		// at the next park.
+		return j, true
+	}
+	if p.stop.Load() {
+		return job{}, false
+	}
+	w.stats.parks.Add(1)
+	start := time.Now()
+	<-w.parkCh
+	w.stats.idleNanos.Add(int64(time.Since(start)))
+	return job{}, false
+}
+
+// exec runs one job, handling group accounting (skip after the group's
+// abort, group quiescence broadcast) and pool quiescence.
+func (w *Worker) exec(j job) {
+	if w.pool.obs.Load() != nil {
+		busyStart := time.Now()
+		w.invoke(j)
+		w.stats.busyNanos.Add(int64(time.Since(busyStart)))
+	} else {
+		w.invoke(j)
+	}
+	if w.pool.pending.Add(-1) == 0 {
+		w.pool.quiesceMu.Lock()
+		w.pool.quiesceCond.Broadcast()
+		w.pool.quiesceMu.Unlock()
+	}
+	w.stats.jobs.Add(1)
+}
+
+// invoke applies the group contract around the job body: an aborted group's
+// queued work becomes a no-op instead of being discarded (the pool's
+// pending count still drains normally), and the group reaches quiescence
+// exactly when its last job has finished or been skipped.
+func (w *Worker) invoke(j job) {
+	if j.g == nil {
+		j.fn(w)
+		return
+	}
+	if !j.g.aborted.Load() {
+		j.fn(w)
+	}
+	if j.g.pending.Add(-1) == 0 {
+		j.g.mu.Lock()
+		j.g.cond.Broadcast()
+		j.g.mu.Unlock()
+	}
+}
+
+// findWork tries this worker's own injector shard, then a round of random
+// steal attempts against the other workers' deques, then the remaining
+// shards and the overflow queue.
+func (w *Worker) findWork() (job, bool) {
 	p := w.pool
 	o := p.obs.Load()
-	if p.injLen.Load() > 0 {
-		p.injMu.Lock()
-		if n := len(p.inj); n > 0 {
-			e := p.inj[n-1]
-			p.inj = p.inj[:n-1]
-			p.injLen.Store(int64(len(p.inj)))
-			p.injMu.Unlock()
-			w.stats.injectorHits.Add(1)
-			if o != nil && !e.at.IsZero() {
-				o.queueWait.ObserveSince(e.at)
-			}
-			return e.f
+	// Own shard first: sharded admission means the common case is an
+	// uncontended ring pop with no lock and no cross-shard traffic.
+	if j, ok := p.shards[w.id].dequeue(); ok {
+		p.injLen.Add(-1)
+		w.stats.injectorHits.Add(1)
+		if o != nil && !j.at.IsZero() {
+			o.queueWait.ObserveSince(j.at)
 		}
-		p.injMu.Unlock()
+		return j, true
 	}
 	n := len(p.workers)
-	if n == 1 {
-		return nil
-	}
 	var searchStart time.Time
 	if o != nil {
 		searchStart = time.Now()
 	}
-	// One randomized pass over the other workers per call; the caller's
-	// backoff loop provides repetition.
-	for attempts := 0; attempts < n; attempts++ {
-		victim := p.workers[w.nextRand()%uint64(n)]
-		if victim == w {
-			continue
-		}
-		if j := victim.dq.Steal(); j != nil {
-			w.stats.steals.Add(1)
-			if o != nil {
-				o.stealLat.ObserveSince(searchStart)
+	if n > 1 {
+		// One randomized pass over the other workers per call; the
+		// caller's park loop provides repetition.
+		for attempts := 0; attempts < n; attempts++ {
+			victim := p.workers[w.nextRand()%uint64(n)]
+			if victim == w {
+				continue
 			}
-			return j
+			if s := victim.dq.Steal(); s != nil {
+				j := *s
+				w.putSlot(s) // thief recycles into its own free-list
+				w.stats.steals.Add(1)
+				if o != nil {
+					o.stealLat.ObserveSince(searchStart)
+				}
+				return j, true
+			}
+			w.stats.failedSteals.Add(1)
 		}
-		w.stats.failedSteals.Add(1)
 	}
-	return nil
+	// Other workers' shards and the overflow queue: only worth scanning
+	// when the injector is known non-empty.
+	if p.injLen.Load() > 0 {
+		for i := 1; i < n; i++ {
+			if j, ok := p.shards[(w.id+i)%n].dequeue(); ok {
+				p.injLen.Add(-1)
+				w.stats.injectorHits.Add(1)
+				if o != nil && !j.at.IsZero() {
+					o.queueWait.ObserveSince(j.at)
+				}
+				return j, true
+			}
+		}
+		if j, ok := p.takeOverflow(); ok {
+			w.stats.injectorHits.Add(1)
+			if o != nil && !j.at.IsZero() {
+				o.queueWait.ObserveSince(j.at)
+			}
+			return j, true
+		}
+	}
+	return job{}, false
 }
 
 // nextRand is a xorshift64* PRNG; cheap and per-worker so victim selection
