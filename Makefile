@@ -4,6 +4,7 @@
 #   make lint    — run the ftlint static-analysis suite (internal/lint)
 #   make race    — race-check the concurrency-critical packages
 #   make crashsoak — kill-and-restart soak of the durable journaled service
+#   make clustersoak — node-kill soak of the shard router + standby failover
 #   make sdcsoak — silent-data-corruption storm against selective replication
 #   make bench-service — record the service throughput baseline
 #   make bench-replica — record the replication overhead-vs-coverage baseline
@@ -12,9 +13,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet lint race build386 soak crashsoak sdcsoak fuzz bench-service bench-replica benchobs benchsched
+.PHONY: ci build test vet lint race build386 soak crashsoak clustersoak sdcsoak fuzz bench-service bench-replica benchobs benchsched
 
-ci: build test vet lint race build386 sdcsoak benchsched
+ci: build test vet lint race build386 sdcsoak clustersoak benchsched
 
 # Tier-1 gate (ROADMAP.md): must stay green on every PR.
 build:
@@ -52,11 +53,22 @@ soak:
 	$(GO) run ./cmd/ftsoak -duration 30s
 	$(GO) run ./cmd/ftsoak -duration 30s -service -jobs 4
 
-# Crash-recovery soak: SIGKILL a child server at random points, restart it
-# from the same journal (corrupting the tail once along the way), verify
-# every job across restarts against its sequential reference digest.
+# Crash-recovery soak: SIGKILL a child server at random points (-cycles
+# kills, or until a run finishes early), restart it from the same journal
+# (corrupting the tail once along the way), verify every job across
+# restarts against its sequential reference digest.
 crashsoak:
-	$(GO) run ./cmd/ftsoak -duration 20s -crash -crashjobs 12 -v
+	$(GO) run ./cmd/ftsoak -crash -cycles 8 -crashjobs 12 -v
+
+# Cluster failover gate (part of ci): three child backends behind the shard
+# router, a standby mirroring the busiest backend's WAL over
+# /journal/stream, one SIGKILL mid-storm. Passes only if every routed job
+# reaches its sequential reference digest, the promoted standby journal
+# holds every submission the victim acknowledged, and the router's
+# failover/reroute counters reconcile with the single injected kill.
+clustersoak:
+	$(GO) run ./cmd/ftsoak -cluster -crashjobs 12 -seed 1
+	$(GO) run ./cmd/ftsoak -cluster -crashjobs 12 -seed 2
 
 # SDC detection gate (part of ci): storm selective-replication jobs with
 # silent corruptions planted on covered tasks (bounded seeds so the run is
@@ -72,6 +84,7 @@ fuzz:
 	$(GO) test ./internal/journal/ -fuzz FuzzDecodeFrame -fuzztime 10s
 	$(GO) test ./internal/journal/ -fuzz FuzzDecodeRecord -fuzztime 10s
 	$(GO) test ./internal/journal/ -fuzz FuzzReplaySegment -fuzztime 10s
+	$(GO) test ./internal/journal/ -fuzz FuzzDecodeStreamFrame -fuzztime 10s
 
 # Service throughput baseline (BENCH_service.json).
 bench-service:

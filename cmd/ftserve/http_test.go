@@ -77,6 +77,8 @@ func TestWrongMethodGets405WithAllow(t *testing.T) {
 		{http.MethodDelete, "/jobs", "GET, HEAD, POST"},
 		{http.MethodGet, "/jobs/1/cancel", "POST"},
 		{http.MethodPost, "/debug/jobs", "GET, HEAD"},
+		{http.MethodPost, "/journal/stream", "GET, HEAD"},
+		{http.MethodGet, "/drain", "POST"},
 	}
 	for _, c := range cases {
 		rr := httptest.NewRecorder()

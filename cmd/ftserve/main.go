@@ -48,7 +48,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -63,6 +62,7 @@ import (
 	"time"
 
 	"ftdag/internal/apps"
+	"ftdag/internal/cluster"
 	"ftdag/internal/core"
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
@@ -125,7 +125,7 @@ func main() {
 	reg := metrics.NewRegistry()
 	cfg.Registry = reg
 	srv := service.New(cfg)
-	d := &daemon{srv: srv, jr: jr, reg: reg, started: time.Now()}
+	d := &daemon{srv: srv, jr: jr, reg: reg, started: time.Now(), drainGrace: *grace}
 	reg.GaugeFunc("ftdag_uptime_seconds", "Seconds since the daemon started.",
 		func() float64 { return time.Since(d.started).Seconds() })
 	mux := d.newMux()
@@ -168,10 +168,11 @@ func main() {
 
 // daemon wires the service into HTTP handlers.
 type daemon struct {
-	srv     *service.Server
-	jr      *journal.Journal // nil without -data-dir
-	reg     *metrics.Registry
-	started time.Time
+	srv        *service.Server
+	jr         *journal.Journal // nil without -data-dir
+	reg        *metrics.Registry
+	started    time.Time
+	drainGrace time.Duration // default /drain grace (the -grace flag)
 }
 
 // newMux builds the daemon's route table. Method-qualified patterns make the
@@ -189,6 +190,11 @@ func (d *daemon) newMux() *http.ServeMux {
 	mux.HandleFunc("GET /debug/jobs", d.debugJobs)
 	mux.HandleFunc("GET /debug/trace/{id}", d.trace)
 	mux.HandleFunc("GET /healthz", d.healthz)
+	// Cluster endpoints (internal/cluster): a standby tails the journal at
+	// /journal/stream, and a shard router migrates this node's jobs away
+	// via /drain. Both handlers are shared with the cluster test backends.
+	mux.HandleFunc("GET /journal/stream", cluster.StreamHandler(d.jr))
+	mux.HandleFunc("POST /drain", cluster.DrainHandler(d.srv, d.drainGrace))
 	return mux
 }
 
@@ -397,27 +403,15 @@ func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
 		spec.Payload = payload
 	}
 	h, err := d.srv.Submit(spec)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusAccepted, h.Status())
-	case isQueueFull(err):
-		// Surface the service's backpressure hint so well-behaved clients
-		// know when a queue slot is expected to free up.
-		var qf *service.QueueFullError
-		if errors.As(err, &qf) {
-			secs := int(qf.RetryAfter.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-		}
-		httpError(w, http.StatusTooManyRequests, err)
-	default:
-		httpError(w, http.StatusInternalServerError, err)
+	if err != nil {
+		// Shared with the cluster backends: queue saturation answers 429
+		// with the service's Retry-After hint, draining/closed answer 503
+		// so a router resubmits elsewhere.
+		cluster.WriteSubmitError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusAccepted, h.Status())
 }
-
-func isQueueFull(err error) bool { return errors.Is(err, service.ErrQueueFull) }
 
 func (d *daemon) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.srv.Jobs())
@@ -515,12 +509,18 @@ func (d *daemon) healthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSec float64        `json:"uptime_sec"`
 		Workers   int            `json:"workers"`
 		Durable   bool           `json:"durable"`
+		Draining  bool           `json:"draining"`
 		Journal   *journal.Stats `json:"journal,omitempty"`
 	}{
 		Status:    "ok",
 		UptimeSec: time.Since(d.started).Seconds(),
 		Workers:   d.srv.Config().Workers,
 		Durable:   d.jr != nil,
+		Draining:  d.srv.Draining(),
+	}
+	if resp.Draining {
+		// A shard router treats a draining node as live but unplaceable.
+		resp.Status = "draining"
 	}
 	if d.jr != nil {
 		s := d.jr.Stats()

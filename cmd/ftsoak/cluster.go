@@ -1,0 +1,446 @@
+// Cluster soak: node-kill failover testing for the shard layer. The
+// parent spawns three child backend processes (each a journaled
+// cluster.Node over the crash-soak job vocabulary), fronts them with an
+// in-process Router, and mirrors the busiest backend's WAL into a standby
+// directory over /journal/stream. Once the standby has caught up the
+// parent SIGKILLs that backend mid-storm and requires three things at
+// once: every routed job still reaches a terminal state whose digest
+// equals its sequential reference (survivor re-execution is benign by
+// determinism), the promoted standby journal holds every submission the
+// victim acknowledged (the at-most-one-group-commit-batch loss bound,
+// zero here because the kill waits for catch-up), and the router's
+// routing/failover counters reconcile exactly with the one injected kill.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"ftdag/internal/cluster"
+	"ftdag/internal/core"
+	"ftdag/internal/journal"
+	"ftdag/internal/metrics"
+	"ftdag/internal/service"
+)
+
+// runClusterChild is one backend of the soak cluster: a journaled service
+// behind a cluster.Node mux on an ephemeral port (printed on stdout for
+// the parent to scrape), building jobs from the shared crash-soak
+// vocabulary. On boot the service replays whatever the journal holds — for
+// a child started over the promoted standby mirror, that is the killed
+// victim's WAL, so its incomplete jobs re-run here automatically.
+func runClusterChild(dataDir string, workers int, timeout time.Duration) error {
+	jr, err := journal.Open(journal.Options{Dir: dataDir})
+	if err != nil {
+		return fmt.Errorf("opening journal: %w", err)
+	}
+	srv := service.New(service.Config{
+		Workers:           workers,
+		MaxConcurrentJobs: 2,
+		MaxQueuedJobs:     256,
+		Journal:           jr,
+		Rebuild:           crashRebuild(timeout),
+	})
+	node := cluster.NewNode(cluster.NodeConfig{
+		Name:       filepath.Base(dataDir),
+		Service:    srv,
+		Journal:    jr,
+		Build:      crashRebuild(timeout),
+		DrainGrace: 2 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening %s\n", ln.Addr())
+	return http.Serve(ln, node.Mux())
+}
+
+// clusterNode is the parent's handle on one child backend process.
+type clusterNode struct {
+	name string
+	dir  string
+	url  string
+	cmd  *exec.Cmd
+	out  *lockedBuf
+}
+
+// lockedBuf collects child output concurrently with parent reads.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// runClusterSoak is the parent orchestrator.
+func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbose bool) {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsoak: locating executable: %v\n", err)
+		os.Exit(1)
+	}
+	root, err := os.MkdirTemp("", "ftsoak-cluster-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftsoak: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ftsoak: cluster soak seed=%d jobs=%d root=%s\n", seed, njobs, root)
+	var nodes []*clusterNode
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ftsoak: FAILURE: "+format+"\n", args...)
+		for _, n := range nodes {
+			_ = n.cmd.Process.Kill()
+			fmt.Fprintf(os.Stderr, "--- %s output ---\n%s", n.name, n.out.String())
+		}
+		fmt.Fprintf(os.Stderr, "  cluster state kept for inspection: %s\n", root)
+		os.Exit(1)
+	}
+
+	// Deterministic job list and sequential reference digests. Faults are
+	// restricted to compute points and the per-task delay stretched so the
+	// SIGKILL reliably lands while the victim still has jobs in flight.
+	jobs := crashJobList(seed, njobs)
+	wantDigest := make(map[string]string, njobs)
+	for i := range jobs {
+		jobs[i].Points = "compute"
+		jobs[i].DelayMS = 30
+		res, err := core.NewSequential(jobs[i].graph(), 0).Run()
+		if err != nil {
+			fatalf("sequential reference %s: %v", jobs[i].name(), err)
+		}
+		wantDigest[jobs[i].name()] = journal.Digest(res.Sink)
+	}
+
+	start := func(name, dir string) *clusterNode {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		cmd := exec.Command(exe,
+			"-clusterchild",
+			"-datadir", dir,
+			"-maxworkers", fmt.Sprint(workers),
+			"-timeout", fmt.Sprint(timeout))
+		out := &lockedBuf{}
+		cmd.Stderr = out
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fatalf("%s stdout: %v", name, err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatalf("starting %s: %v", name, err)
+		}
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				line := sc.Text()
+				if a, ok := strings.CutPrefix(line, "listening "); ok {
+					select {
+					case addrCh <- a:
+					default:
+					}
+					continue
+				}
+				fmt.Fprintln(out, line)
+			}
+			_ = cmd.Wait() // reap once the pipe closes (exit or SIGKILL)
+		}()
+		n := &clusterNode{name: name, dir: dir, cmd: cmd, out: out}
+		nodes = append(nodes, n)
+		select {
+		case a := <-addrCh:
+			n.url = "http://" + a
+		case <-time.After(10 * time.Second):
+			fatalf("backend %s never reported its address", name)
+		}
+		if verbose {
+			fmt.Printf("backend %s on %s (%s)\n", name, n.url, dir)
+		}
+		return n
+	}
+	for _, name := range []string{"b0", "b1", "b2"} {
+		start(name, filepath.Join(root, name))
+	}
+
+	// The router runs in-process so the soak can reconcile its metrics
+	// registry directly at the end.
+	client := &http.Client{Timeout: 10 * time.Second}
+	reg := metrics.NewRegistry()
+	rt := cluster.NewRouter(cluster.RouterConfig{
+		Client:         client,
+		Registry:       reg,
+		HealthInterval: 25 * time.Millisecond,
+		FailThreshold:  2,
+	})
+	for _, n := range nodes {
+		if err := rt.AddBackend(n.name, n.url); err != nil {
+			fatalf("adding backend %s: %v", n.name, err)
+		}
+	}
+	rt.Start()
+	defer rt.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("router listener: %v", err)
+	}
+	go func() { _ = http.Serve(ln, rt.Mux()) }()
+	routerURL := "http://" + ln.Addr().String()
+
+	// Submit every job through the router, shard-pinned by job name so the
+	// placement is a pure function of the ring.
+	type placed struct {
+		id      int64
+		name    string
+		backend string
+	}
+	placements := make([]placed, 0, njobs)
+	perBackend := make(map[string]int)
+	for _, c := range jobs {
+		body, err := json.Marshal(c)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req, err := http.NewRequest(http.MethodPost, routerURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Shard-Key", c.name())
+		resp, err := client.Do(req)
+		if err != nil {
+			fatalf("submitting %s: %v", c.name(), err)
+		}
+		var rs cluster.RoutedStatus
+		err = json.NewDecoder(resp.Body).Decode(&rs)
+		_ = resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			fatalf("submitting %s: status %d, decode err %v", c.name(), resp.StatusCode, err)
+		}
+		placements = append(placements, placed{rs.ID, c.name(), rs.Backend})
+		perBackend[rs.Backend]++
+	}
+
+	// The victim is the busiest backend — the kill should orphan as many
+	// in-flight jobs as possible.
+	victim := nodes[0]
+	for _, n := range nodes {
+		if perBackend[n.name] > perBackend[victim.name] {
+			victim = n
+		}
+	}
+	if verbose {
+		fmt.Printf("placement %v; victim %s\n", perBackend, victim.name)
+	}
+
+	// Mirror the victim's WAL into the standby directory until caught up.
+	// Two consecutive error-free syncs guarantee every record present when
+	// the first began — in particular every acknowledged submission — is
+	// durable in the mirror before the kill.
+	standbyDir := filepath.Join(root, "standby")
+	fl, err := cluster.NewFollower(victim.url, standbyDir, client)
+	if err != nil {
+		fatalf("standby follower: %v", err)
+	}
+	syncDeadline := time.Now().Add(15 * time.Second)
+	var mirrored int64
+	for clean := 0; clean < 2; {
+		if time.Now().After(syncDeadline) {
+			fatalf("standby never caught up: %+v", fl.Stats())
+		}
+		n, err := fl.Sync()
+		if err != nil {
+			clean = 0
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		mirrored += n
+		clean++
+	}
+
+	// SIGKILL the victim mid-storm; the health loop must declare it dead
+	// and re-route its incomplete jobs to the survivors.
+	killedAt := time.Now()
+	_ = victim.cmd.Process.Kill()
+	waitMetric := func(name string, want float64, within time.Duration) {
+		deadline := time.Now().Add(within)
+		for {
+			if v, _ := reg.Value(name); v == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				v, _ := reg.Value(name)
+				fatalf("%s = %v, want %v", name, v, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitMetric("ftrouter_failover_total", 1, 15*time.Second)
+	// Kill-to-reroute latency as the parent observes it: health-probe
+	// detection (FailThreshold misses at HealthInterval) plus the reroute
+	// resubmissions; ftrouter_failover_seconds records the reroute part.
+	failoverMS := time.Since(killedAt).Milliseconds()
+
+	// Promote the standby and hold it to the loss bound: every submission
+	// the victim acknowledged must be journaled in the mirror (the kill
+	// waited for catch-up, so even the one-batch allowance goes unused),
+	// and any terminal state it captured must carry the reference digest.
+	promoted, err := fl.Promote(journal.Options{})
+	if err != nil {
+		fatalf("promoting standby: %v", err)
+	}
+	standbyByName := make(map[string]*journal.JobState)
+	for _, js := range promoted.State().Jobs {
+		standbyByName[js.Name] = js
+	}
+	replayed := 0
+	for _, p := range placements {
+		if p.backend != victim.name {
+			continue
+		}
+		js, ok := standbyByName[p.name]
+		if !ok {
+			fatalf("%s was acknowledged by %s but is missing from the promoted standby journal (exceeds the one-batch loss bound)", p.name, victim.name)
+		}
+		if js.State == journal.Succeeded && js.SinkDigest != wantDigest[p.name] {
+			fatalf("standby digest for %s = %s, want %s", p.name, js.SinkDigest, wantDigest[p.name])
+		}
+		if !js.Terminal() {
+			replayed++
+		}
+	}
+	if err := promoted.Close(); err != nil {
+		fatalf("closing promoted journal: %v", err)
+	}
+
+	// Boot the promoted mirror as a fourth backend: its service replays the
+	// victim's incomplete jobs from the streamed WAL, independently of the
+	// router's re-routing — determinism makes the duplication benign.
+	standby := start("standby", standbyDir)
+	if err := rt.AddBackend(standby.name, standby.url); err != nil {
+		fatalf("adding standby backend: %v", err)
+	}
+
+	// Every routed job must reach Succeeded with its reference digest, the
+	// victim's via re-execution on a survivor.
+	for _, p := range placements {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				fatalf("job %d (%s) never reached a terminal state through the router", p.id, p.name)
+			}
+			resp, err := client.Get(fmt.Sprintf("%s/jobs/%d", routerURL, p.id))
+			if err != nil {
+				fatalf("router status for %s: %v", p.name, err)
+			}
+			var rs cluster.RoutedStatus
+			err = json.NewDecoder(resp.Body).Decode(&rs)
+			_ = resp.Body.Close()
+			// 503 is the failover window ("backend unavailable"); keep polling.
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fatalf("router status for %s: code %d, err %v", p.name, resp.StatusCode, err)
+			}
+			if !rs.State.Terminal() {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			if rs.State != service.Succeeded {
+				fatalf("%s finished %v on %s, want succeeded", p.name, rs.State, rs.Backend)
+			}
+			if rs.SinkDigest != wantDigest[p.name] {
+				fatalf("%s digest %s on %s != sequential reference %s (Theorem 1 violation across failover)",
+					p.name, rs.SinkDigest, rs.Backend, wantDigest[p.name])
+			}
+			break
+		}
+	}
+
+	// The standby's replay converges too: every job it inherited ends
+	// Succeeded with the reference digest.
+	replayDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(replayDeadline) {
+			fatalf("standby replay never converged")
+		}
+		resp, err := client.Get(standby.url + "/jobs")
+		if err != nil {
+			fatalf("standby jobs: %v", err)
+		}
+		var sts []service.Status
+		err = json.NewDecoder(resp.Body).Decode(&sts)
+		_ = resp.Body.Close()
+		if err != nil {
+			fatalf("standby jobs: %v", err)
+		}
+		settled := true
+		for _, st := range sts {
+			if !st.State.Terminal() {
+				settled = false
+				break
+			}
+			if st.State != service.Succeeded {
+				fatalf("standby replay of %s finished %v, want succeeded", st.Name, st.State)
+			}
+			if want, ok := wantDigest[st.Name]; !ok || st.SinkDigest != want {
+				fatalf("standby replay of %s digest %s, want %s", st.Name, st.SinkDigest, want)
+			}
+		}
+		if settled {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Metric reconciliation against the one injected kill: the per-backend
+	// routed counters must sum to submissions + re-routes, exactly one
+	// failover latency observation exists, and nothing was rejected.
+	rerouted, _ := reg.Value("ftrouter_rerouted_jobs_total")
+	routedSum := 0.0
+	for _, s := range reg.Gather() {
+		if s.Name == "ftrouter_routed_total" {
+			routedSum += s.Value
+		}
+	}
+	if int(routedSum) != njobs+int(rerouted) {
+		fatalf("ftrouter_routed_total sums to %v, want %d submitted + %v rerouted", routedSum, njobs, rerouted)
+	}
+	if h, ok := reg.Value("ftrouter_failover_seconds"); !ok || h != 1 {
+		fatalf("ftrouter_failover_seconds observations = %v, want exactly 1", h)
+	}
+	if v, _ := reg.Value("ftrouter_saturated_total"); v != 0 {
+		fatalf("ftrouter_saturated_total = %v, want 0 (queues were sized for the storm)", v)
+	}
+
+	rt.Stop()
+	_ = ln.Close()
+	for _, n := range nodes {
+		_ = n.cmd.Process.Kill()
+	}
+	os.RemoveAll(root)
+	fmt.Printf("ftsoak: PASS (cluster) — %d jobs across 3 backends (%d KiB WAL mirrored); killed %s holding %d jobs, failover in %dms, %d rerouted to survivors, %d replayed by the promoted standby; every digest matches its sequential reference\n",
+		njobs, mirrored>>10, victim.name, perBackend[victim.name], failoverMS, int(rerouted), replayed)
+}

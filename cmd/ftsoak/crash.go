@@ -46,6 +46,15 @@ type crashJob struct {
 	// round-trips the journaled per-job policy across kills and restarts.
 	Recovery string  `json:"recovery,omitempty"`
 	Budget   float64 `json:"budget,omitempty"`
+	// Points restricts the fault storm: "compute" allows only
+	// BeforeCompute/AfterCompute injections, keeping recovery accounting
+	// 1:1 with firings (the cluster soak reconciles counters this way);
+	// empty allows every point.
+	Points string `json:"points,omitempty"`
+	// DelayMS overrides the per-task slowdown (0: the default 5ms). The
+	// cluster soak stretches tasks further so a SIGKILL reliably lands
+	// while the victim still has jobs in flight.
+	DelayMS int `json:"delay_ms,omitempty"`
 }
 
 func (c crashJob) name() string { return fmt.Sprintf("crash-%d", c.I) }
@@ -109,11 +118,18 @@ func buildCrashSpec(c crashJob, timeout time.Duration) (service.JobSpec, error) 
 	want := ref.Outputs()
 	plan := fault.NewPlan()
 	points := []fault.Point{fault.BeforeCompute, fault.AfterCompute, fault.AfterNotify}
+	if c.Points == "compute" {
+		points = points[:2]
+	}
 	prng := mrand.New(mrand.NewSource(c.FSeed))
 	for _, k := range fault.SelectTasks(g, fault.AnyTask, c.Faults, c.FSeed) {
-		plan.Add(k, points[prng.Intn(3)], 1+prng.Intn(3))
+		plan.Add(k, points[prng.Intn(len(points))], 1+prng.Intn(3))
 	}
-	rec := core.NewRecorder(slowSpec{Spec: g, delay: 5 * time.Millisecond})
+	delay := 5 * time.Millisecond
+	if c.DelayMS > 0 {
+		delay = time.Duration(c.DelayMS) * time.Millisecond
+	}
+	rec := core.NewRecorder(slowSpec{Spec: g, delay: delay})
 	payload, err := json.Marshal(c)
 	if err != nil {
 		return service.JobSpec{}, err
@@ -253,9 +269,10 @@ func corruptJournalTail(dataDir string) (string, error) {
 	return path, os.WriteFile(path, append([]byte("FTJRNL01"), garbage...), 0o644)
 }
 
-// runCrashSoak is the parent: spawn/kill loop, tail corruption, final
-// verification of every job against its sequential reference digest.
-func runCrashSoak(seed int64, duration time.Duration, njobs, workers int, timeout time.Duration, verbose bool) {
+// runCrashSoak is the parent: spawn/kill loop bounded by -cycles kill
+// cycles, tail corruption, final verification of every job against its
+// sequential reference digest.
+func runCrashSoak(seed int64, cycles, njobs, workers int, timeout time.Duration, verbose bool) {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftsoak: locating executable: %v\n", err)
@@ -296,10 +313,11 @@ func runCrashSoak(seed int64, duration time.Duration, njobs, workers int, timeou
 	}
 
 	// Kill loop: let each incarnation live 30–400ms, then SIGKILL it.
+	// Bounded by kill cycles, not wall clock, so the same -seed -cycles
+	// pair replays the same schedule of child lifetimes everywhere.
 	krng := mrand.New(mrand.NewSource(seed ^ 0x6b696c6c)) // "kill"
-	deadline := time.Now().Add(duration)
 	runs, kills := 0, 0
-	for time.Now().Before(deadline) {
+	for kills < cycles {
 		runs++
 		cmd := child()
 		var out bytes.Buffer

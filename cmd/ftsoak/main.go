@@ -11,15 +11,22 @@
 // checking Theorem 1 end-to-end under multi-tenant load.
 //
 // The -crash mode soaks the durable journaled service instead: a child
-// server process is repeatedly SIGKILLed at random points and restarted
-// from the same -data-dir (with one deliberately corrupted journal tail
-// along the way), and every job is verified across restarts against its
-// sequential reference digest.
+// server process is repeatedly SIGKILLed at random points (-cycles kills,
+// or until a run finishes early) and restarted from the same -data-dir
+// (with one deliberately corrupted journal tail along the way), and every
+// job is verified across restarts against its sequential reference digest.
+//
+// The -cluster mode soaks the shard layer: three child backends behind an
+// in-process router, a standby mirroring the busiest backend's WAL over
+// /journal/stream, one SIGKILL mid-storm, and every job — including the
+// dead backend's re-routed shard and the promoted standby's replay — must
+// still fold to its sequential reference digest.
 //
 //	ftsoak -duration 30s
 //	ftsoak -duration 5m -maxworkers 8 -v
 //	ftsoak -duration 1m -service -jobs 4
-//	ftsoak -duration 20s -crash -crashjobs 12
+//	ftsoak -crash -cycles 8 -crashjobs 12
+//	ftsoak -cluster -crashjobs 12
 package main
 
 import (
@@ -47,11 +54,14 @@ func main() {
 		useService = flag.Bool("service", false, "submit scenarios through the multi-job Server on one shared pool")
 		jobs       = flag.Int("jobs", 4, "concurrent jobs per batch in -service mode")
 		crash      = flag.Bool("crash", false, "kill-and-restart soak of the journaled service (spawns child processes)")
+		cycles     = flag.Int("cycles", 8, "SIGKILL cycles in -crash mode before letting a run finish (a clean finish ends the loop early)")
+		clusterM   = flag.Bool("cluster", false, "node-kill soak of the shard layer: 3 backends, router, standby failover (spawns child processes)")
 		sdc        = flag.Bool("sdc", false, "storm selective-replication jobs with silent data corruptions and require exact detection accounting")
 		sdcIters   = flag.Int("sdciters", 24, "jobs to run in -sdc mode")
-		crashJobs  = flag.Int("crashjobs", 12, "total jobs the crash soak must complete across restarts")
+		crashJobs  = flag.Int("crashjobs", 12, "total jobs the crash/cluster soak must complete")
 		crashChild = flag.Bool("crashchild", false, "internal: run as a crash-soak child server")
-		dataDir    = flag.String("datadir", "", "internal: crash-soak child journal directory")
+		clustChild = flag.Bool("clusterchild", false, "internal: run as a cluster-soak backend node")
+		dataDir    = flag.String("datadir", "", "internal: child journal directory")
 	)
 	flag.Parse()
 
@@ -62,8 +72,19 @@ func main() {
 		}
 		return
 	}
+	if *clustChild {
+		if err := runClusterChild(*dataDir, *maxWorkers, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterchild: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *crash {
-		runCrashSoak(*seed, *duration, *crashJobs, *maxWorkers, *timeout, *verbose)
+		runCrashSoak(*seed, *cycles, *crashJobs, *maxWorkers, *timeout, *verbose)
+		return
+	}
+	if *clusterM {
+		runClusterSoak(*seed, *crashJobs, *maxWorkers, *timeout, *verbose)
 		return
 	}
 	if *sdc {

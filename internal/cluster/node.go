@@ -1,0 +1,308 @@
+package cluster
+
+// Backend-side HTTP surface. StreamHandler and DrainHandler are mounted by
+// cmd/ftserve on its production mux; Node bundles them with a minimal
+// jobs API around a service.Server so cluster tests and the ftsoak
+// -cluster children run real HTTP backends without dragging in all of
+// ftserve's request vocabulary.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ftdag/internal/journal"
+	"ftdag/internal/service"
+)
+
+const (
+	// streamChunkBytes is the span of segment bytes per stream frame.
+	streamChunkBytes = 64 << 10
+	// streamMaxResponse caps the framed bytes one /journal/stream request
+	// returns; a follower behind by more than this catches up over
+	// successive requests, each resuming at its new local offset.
+	streamMaxResponse = 1 << 20
+	// maxSubmitBody bounds a submission body read.
+	maxSubmitBody = 1 << 20
+)
+
+// StreamHandler serves a journal's tailing protocol:
+//
+//	GET /journal/stream              the TailManifest (JSON)
+//	GET /journal/stream?seg=N&off=M  segment N's bytes from offset M, as
+//	                                 CRC-framed chunks (octet-stream)
+//	GET /journal/stream?snap=N       snapshot N's raw bytes (the snapshot
+//	                                 frame is self-validating at Open)
+//
+// A missing segment or snapshot answers 404: it was compacted away and the
+// follower must refetch the manifest. A nil journal (server started
+// without -data-dir) answers 503 — there is nothing durable to replicate.
+func StreamHandler(j *journal.Journal) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			httpError(w, http.StatusServiceUnavailable, errors.New("journal streaming requires a durable server (-data-dir)"))
+			return
+		}
+		q := r.URL.Query()
+		switch {
+		case q.Get("snap") != "":
+			seq, err := strconv.ParseUint(q.Get("snap"), 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad snap %q", q.Get("snap")))
+				return
+			}
+			raw, err := j.SnapshotBytes(seq)
+			if err != nil {
+				httpError(w, http.StatusNotFound, fmt.Errorf("snapshot %d: %v", seq, err))
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if _, err := w.Write(raw); err != nil {
+				log.Printf("cluster: writing snapshot %d: %v", seq, err)
+			}
+		case q.Get("seg") != "":
+			seq, err := strconv.ParseUint(q.Get("seg"), 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad seg %q", q.Get("seg")))
+				return
+			}
+			off, err := strconv.ParseInt(q.Get("off"), 10, 64)
+			if err != nil || off < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad off %q", q.Get("off")))
+				return
+			}
+			var out []byte
+			for len(out) < streamMaxResponse {
+				data, err := j.ReadSegmentAt(seq, off, streamChunkBytes)
+				if err != nil {
+					if len(out) == 0 {
+						httpError(w, http.StatusNotFound, fmt.Errorf("segment %d: %v", seq, err))
+						return
+					}
+					break // rotated/compacted mid-read: ship what we have
+				}
+				if len(data) == 0 {
+					break // caught up
+				}
+				out = AppendStreamFrame(out, StreamChunk{Seq: seq, Off: off, Data: data})
+				off += int64(len(data))
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if _, err := w.Write(out); err != nil {
+				log.Printf("cluster: writing stream frames: %v", err)
+			}
+		default:
+			m, err := j.TailManifest()
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, m)
+		}
+	}
+}
+
+// Stream framing re-exports: the wire format lives beside the journal's
+// other on-disk framing, but it is the cluster transport's vocabulary, so
+// cluster callers (and cmd/ftrouter) use these names.
+type StreamChunk = journal.StreamChunk
+
+// AppendStreamFrame and DecodeStreamFrame frame spans of segment bytes
+// with a CRC-32C covering header and payload (see internal/journal).
+var (
+	AppendStreamFrame = journal.AppendStreamFrame
+	DecodeStreamFrame = journal.DecodeStreamFrame
+)
+
+// DrainHandler serves POST /drain: stop admission, give in-flight jobs
+// ?grace_ms (default defaultGrace) to finish, checkpoint the rest as
+// incomplete, and return the service.DrainResult — the migration manifest
+// whose payloads the router resubmits elsewhere.
+func DrainHandler(s *service.Server, defaultGrace time.Duration) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		grace := defaultGrace
+		if v := r.URL.Query().Get("grace_ms"); v != "" {
+			ms, err := strconv.Atoi(v)
+			if err != nil || ms < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad grace_ms %q", v))
+				return
+			}
+			grace = time.Duration(ms) * time.Millisecond
+		}
+		writeJSON(w, http.StatusOK, s.Drain(grace))
+	}
+}
+
+// NodeConfig configures a minimal cluster backend.
+type NodeConfig struct {
+	// Name labels the node in healthz responses and logs.
+	Name string
+	// Service executes the jobs.
+	Service *service.Server
+	// Journal, when non-nil, is served at /journal/stream. It should be
+	// the same journal the Service writes.
+	Journal *journal.Journal
+	// Build turns a submission body into a JobSpec; the node persists the
+	// body itself as the job's payload (matching Service's Rebuild).
+	Build func(body []byte) (service.JobSpec, error)
+	// DrainGrace is the default /drain grace when the request carries no
+	// grace_ms parameter.
+	DrainGrace time.Duration
+}
+
+// Node serves the subset of the ftserve API a Router needs — submit,
+// status, cancel, healthz — plus the cluster endpoints (/journal/stream,
+// /drain), against any Build vocabulary. ftserve itself mounts the same
+// Stream/Drain handlers on its fuller mux.
+type Node struct {
+	cfg NodeConfig
+}
+
+// NewNode wires a backend node around a running service.
+func NewNode(cfg NodeConfig) *Node { return &Node{cfg: cfg} }
+
+// Mux builds the node's route table (method-qualified patterns give 405 +
+// Allow for free, matching the ftserve convention).
+func (n *Node) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", n.submit)
+	mux.HandleFunc("GET /jobs", n.list)
+	mux.HandleFunc("GET /jobs/{id}", n.status)
+	mux.HandleFunc("POST /jobs/{id}/cancel", n.cancel)
+	mux.HandleFunc("GET /healthz", n.healthz)
+	mux.HandleFunc("GET /journal/stream", StreamHandler(n.cfg.Journal))
+	mux.HandleFunc("POST /drain", DrainHandler(n.cfg.Service, n.cfg.DrainGrace))
+	return mux
+}
+
+func (n *Node) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := n.cfg.Build(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n.cfg.Journal != nil {
+		spec.Payload = body
+	}
+	h, err := n.cfg.Service.Submit(spec)
+	if err != nil {
+		WriteSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, h.Status())
+}
+
+func (n *Node) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, n.cfg.Service.Jobs())
+}
+
+func (n *Node) job(w http.ResponseWriter, r *http.Request) (*service.Handle, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return nil, false
+	}
+	h, ok := n.cfg.Service.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return nil, false
+	}
+	return h, true
+}
+
+func (n *Node) status(w http.ResponseWriter, r *http.Request) {
+	if h, ok := n.job(w, r); ok {
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+func (n *Node) cancel(w http.ResponseWriter, r *http.Request) {
+	if h, ok := n.job(w, r); ok {
+		h.Cancel()
+		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+// Health is the healthz body shared by Node and inspected by the Router.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Name     string `json:"name,omitempty"`
+	Draining bool   `json:"draining"`
+	Durable  bool   `json:"durable"`
+	Jobs     int    `json:"jobs"`
+}
+
+func (n *Node) healthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:  "ok",
+		Name:    n.cfg.Name,
+		Durable: n.cfg.Journal != nil,
+		Jobs:    len(n.cfg.Service.Jobs()),
+	}
+	if n.cfg.Service.Draining() {
+		h.Status, h.Draining = "draining", true
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// WriteSubmitError maps a Submit error onto the wire the way ftserve does:
+// queue saturation answers 429 with the service's Retry-After hint;
+// draining and closed answer 503 (resubmit elsewhere); anything else is a
+// 500. Shared so every backend speaks the same backpressure dialect the
+// router propagates.
+func WriteSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		var qf *service.QueueFullError
+		if errors.As(err, &qf) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(qf.RetryAfter)))
+		}
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, service.ErrDraining), errors.Is(err, service.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// retryAfterSeconds rounds a backpressure hint to the whole seconds the
+// Retry-After header speaks, with a floor of 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("cluster: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeJSON decodes one JSON value and drains the reader so HTTP
+// keep-alive connections are reusable.
+func decodeJSON(r io.Reader, v any) error {
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, r) // best-effort drain for connection reuse
+	return nil
+}

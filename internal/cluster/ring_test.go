@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(names ...string) *Ring {
+	r := NewRing(0)
+	for _, n := range names {
+		r.Add(n)
+	}
+	return r
+}
+
+// TestRingDeterministicAndBalanced: placement is independent of insertion
+// order and spreads keys across members without gross imbalance.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a := ringOf("alpha", "beta", "gamma")
+	b := ringOf("gamma", "alpha", "beta")
+	counts := map[string]int{}
+	const keys = 9000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		own := a.Owner(k)
+		if got := b.Owner(k); got != own {
+			t.Fatalf("owner of %q depends on insertion order: %q vs %q", k, own, got)
+		}
+		counts[own]++
+	}
+	for _, name := range a.Members() {
+		n := counts[name]
+		if n < keys/10 || n > keys*6/10 {
+			t.Fatalf("member %s owns %d of %d keys — distribution collapsed: %v", name, n, keys, counts)
+		}
+	}
+}
+
+// TestRingSequentialKeysSpread: keys differing only in a short numeric
+// suffix must still spread across a small member set. Regression test for
+// raw FNV-1a placement, whose weak trailing-byte avalanche collapsed every
+// member's vnodes into one contiguous arc — "crash-0".."crash-11" all
+// routed to one backend of three.
+func TestRingSequentialKeysSpread(t *testing.T) {
+	r := ringOf("b0", "b1", "b2")
+	counts := map[string]int{}
+	const keys = 60
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("crash-%d", i))]++
+	}
+	for _, name := range r.Members() {
+		if counts[name] < keys/10 {
+			t.Fatalf("member %s owns %d of %d sequential keys — vnode arcs collapsed: %v",
+				name, counts[name], keys, counts)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyTheLostShard: removing a member must not disturb
+// keys owned by the survivors.
+func TestRingRemoveMovesOnlyTheLostShard(t *testing.T) {
+	r := ringOf("alpha", "beta", "gamma")
+	before := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	r.Remove("gamma")
+	if r.Size() != 2 {
+		t.Fatalf("size = %d after remove, want 2", r.Size())
+	}
+	moved := 0
+	for k, prev := range before {
+		now := r.Owner(k)
+		if now == "gamma" {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+		if prev != "gamma" && now != prev {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, prev, now)
+		}
+		if prev == "gamma" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member; test is vacuous")
+	}
+}
+
+// TestRingCandidates: the spillover walk starts at the owner and visits
+// distinct members.
+func TestRingCandidates(t *testing.T) {
+	r := ringOf("alpha", "beta", "gamma")
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c := r.Candidates(k, 3)
+		if len(c) != 3 {
+			t.Fatalf("candidates(%q) = %v, want 3 members", k, c)
+		}
+		if c[0] != r.Owner(k) {
+			t.Fatalf("candidates(%q)[0] = %q, owner = %q", k, c[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, name := range c {
+			if seen[name] {
+				t.Fatalf("candidates(%q) repeats %q: %v", k, name, c)
+			}
+			seen[name] = true
+		}
+	}
+	if got := r.Candidates("k", 99); len(got) != 3 {
+		t.Fatalf("candidates capped at membership: got %d", len(got))
+	}
+	if got := NewRing(0).Candidates("k", 2); got != nil {
+		t.Fatalf("empty ring candidates = %v, want nil", got)
+	}
+	if got := NewRing(0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}

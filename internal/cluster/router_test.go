@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ftdag/internal/graph"
+	"ftdag/internal/journal"
+	"ftdag/internal/metrics"
+	"ftdag/internal/service"
+)
+
+// testReq is the cluster test backends' submission vocabulary: a chain of
+// tasks, optionally sleeping per task so jobs stay in flight long enough
+// to be killed, drained, or spilled over.
+type testReq struct {
+	Name    string `json:"name"`
+	Tasks   int    `json:"tasks"`
+	SleepMS int    `json:"sleep_ms,omitempty"`
+}
+
+func buildTestJob(body []byte) (service.JobSpec, error) {
+	var req testReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return service.JobSpec{}, err
+	}
+	if req.Tasks <= 0 {
+		req.Tasks = 4
+	}
+	var compute func(graph.Key, [][]float64) []float64
+	if req.SleepMS > 0 {
+		d := time.Duration(req.SleepMS) * time.Millisecond
+		compute = func(key graph.Key, vals [][]float64) []float64 {
+			time.Sleep(d)
+			sum := float64(key)
+			for _, v := range vals {
+				for _, x := range v {
+					sum += x
+				}
+			}
+			return []float64{sum}
+		}
+	}
+	return service.JobSpec{Name: req.Name, Spec: graph.Chain(req.Tasks, compute)}, nil
+}
+
+// testBackend is one live HTTP backend for router tests.
+type testBackend struct {
+	name string
+	ts   *httptest.Server
+	srv  *service.Server
+	jr   *journal.Journal
+}
+
+func newTestBackend(t *testing.T, name string, durable bool) *testBackend {
+	t.Helper()
+	cfg := service.Config{Workers: 2, MaxConcurrentJobs: 2, MaxQueuedJobs: 8}
+	var jr *journal.Journal
+	if durable {
+		var err error
+		jr, err = journal.Open(journal.Options{Dir: t.TempDir(), NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Journal = jr
+		cfg.Rebuild = buildTestJob
+	}
+	srv := service.New(cfg)
+	node := NewNode(NodeConfig{Name: name, Service: srv, Journal: jr, Build: buildTestJob, DrainGrace: time.Second})
+	ts := httptest.NewServer(node.Mux())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return &testBackend{name: name, ts: ts, srv: srv, jr: jr}
+}
+
+// newTestRouter wires a router over the given backends with a fast health
+// loop, served over real HTTP.
+func newTestRouter(t *testing.T, reg *metrics.Registry, backends ...*testBackend) (*Router, *httptest.Server) {
+	t.Helper()
+	rt := NewRouter(RouterConfig{
+		Registry:       reg,
+		HealthInterval: 20 * time.Millisecond,
+		FailThreshold:  2,
+		Client:         &http.Client{Timeout: 5 * time.Second},
+	})
+	for _, b := range backends {
+		if err := rt.AddBackend(b.name, b.ts.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Start()
+	ts := httptest.NewServer(rt.Mux())
+	t.Cleanup(func() {
+		ts.Close()
+		rt.Stop()
+	})
+	return rt, ts
+}
+
+// keyOwnedBy finds a shard key whose home is the named backend, using the
+// same ring parameters as the router.
+func keyOwnedBy(owner string, members ...string) string {
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("pin-%d", i)
+		if r.Owner(k) == owner {
+			return k
+		}
+	}
+	panic("no key found for " + owner)
+}
+
+func submitViaRouter(t *testing.T, routerURL, shardKey, body string) (*http.Response, RoutedStatus) {
+	t.Helper()
+	req, err := http.NewRequest("POST", routerURL+"/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shardKey != "" {
+		req.Header.Set("X-Shard-Key", shardKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs RoutedStatus
+	raw, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close() // fully read above
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &rs); err != nil {
+			t.Fatalf("decoding accepted response %q: %v", raw, err)
+		}
+	}
+	return resp, rs
+}
+
+// waitTerminal polls the router until the job reaches a terminal state.
+// 503s are tolerated along the way: they are the failover window.
+func waitTerminal(t *testing.T, routerURL string, id int64, timeout time.Duration) RoutedStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", routerURL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rs RoutedStatus
+		code := resp.StatusCode
+		decErr := json.NewDecoder(resp.Body).Decode(&rs)
+		_ = resp.Body.Close() // decoded above
+		if code == http.StatusOK && decErr == nil && rs.State.Terminal() {
+			return rs
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %d did not reach a terminal state within %v", id, timeout)
+	return RoutedStatus{}
+}
+
+// TestRouterRoutesAcrossBackends: submissions spread across the fleet,
+// every job completes with a digest, and the routing counters reconcile.
+func TestRouterRoutesAcrossBackends(t *testing.T) {
+	b1 := newTestBackend(t, "alpha", false)
+	b2 := newTestBackend(t, "beta", false)
+	reg := metrics.NewRegistry()
+	_, ts := newTestRouter(t, reg, b1, b2)
+
+	const jobs = 16
+	ids := make([]int64, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		body := fmt.Sprintf(`{"name":"job-%d","tasks":3}`, i)
+		resp, rs := submitViaRouter(t, ts.URL, "", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s", i, resp.Status)
+		}
+		if rs.Backend == "" {
+			t.Fatalf("submit %d: no backend in %+v", i, rs)
+		}
+		ids = append(ids, rs.ID)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		rs := waitTerminal(t, ts.URL, id, 10*time.Second)
+		if rs.State != service.Succeeded || rs.SinkDigest == "" {
+			t.Fatalf("job %d: %+v, want succeeded with digest", id, rs)
+		}
+		seen[rs.Backend] = true
+	}
+	if !seen["alpha"] || !seen["beta"] {
+		t.Fatalf("jobs all landed on one backend: %v", seen)
+	}
+
+	// Per-backend routed counters sum to the accepted count.
+	total := 0.0
+	for _, s := range reg.Gather() {
+		if s.Name == "ftrouter_routed_total" {
+			total += s.Value
+		}
+	}
+	if int(total) != jobs {
+		t.Fatalf("ftrouter_routed_total sums to %v, want %d", total, jobs)
+	}
+
+	// The router's list view covers every job.
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []RoutedStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close() // decoded above
+	if len(list) != jobs {
+		t.Fatalf("router list has %d jobs, want %d", len(list), jobs)
+	}
+}
+
+// TestRouterBackpressure: a saturated single backend's 429 and
+// Retry-After reach the client; with a second backend the same submission
+// spills over to it instead.
+func TestRouterBackpressure(t *testing.T) {
+	slow := newTestBackend(t, "slow", false)
+	// Saturate: capacity 2 running + 8 queued on the node's service.
+	reg := metrics.NewRegistry()
+	rt, ts := newTestRouter(t, reg, slow)
+	busy := `{"name":"busy","tasks":4,"sleep_ms":400}`
+	var got429 *http.Response
+	for i := 0; i < 16; i++ {
+		resp, _ := submitViaRouter(t, ts.URL, "", busy)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %s, want 202 or 429", i, resp.Status)
+		}
+	}
+	if got429 == nil {
+		t.Fatal("never saw 429 from a saturated backend")
+	}
+	if got429.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+
+	// A second backend turns the same saturation into spillover.
+	free := newTestBackend(t, "free", false)
+	if err := rt.AddBackend(free.name, free.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	key := keyOwnedBy("slow", "slow", "free")
+	resp, rs := submitViaRouter(t, ts.URL, key, `{"name":"spill","tasks":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spillover submit: %s", resp.Status)
+	}
+	if rs.Backend != "free" {
+		t.Fatalf("spillover landed on %q, want the free backend", rs.Backend)
+	}
+	if v, _ := reg.Value("ftrouter_spillover_total"); v < 1 {
+		t.Fatalf("ftrouter_spillover_total = %v, want >= 1", v)
+	}
+}
+
+// TestRouterFailover: kill a backend mid-job; the health loop declares it
+// dead and resubmits the shard's incomplete jobs to the survivor, where
+// determinism reproduces the same digest as an undisturbed control run.
+func TestRouterFailover(t *testing.T) {
+	victim := newTestBackend(t, "victim", true)
+	survivor := newTestBackend(t, "survivor", true)
+	reg := metrics.NewRegistry()
+	_, ts := newTestRouter(t, reg, victim, survivor)
+
+	body := `{"name":"fo","tasks":8,"sleep_ms":150}`
+	vKey := keyOwnedBy("victim", "victim", "survivor")
+	sKey := keyOwnedBy("survivor", "victim", "survivor")
+	respV, rsV := submitViaRouter(t, ts.URL, vKey, body)
+	respC, rsC := submitViaRouter(t, ts.URL, sKey, body)
+	if respV.StatusCode != http.StatusAccepted || respC.StatusCode != http.StatusAccepted {
+		t.Fatalf("submits: %s / %s", respV.Status, respC.Status)
+	}
+	if rsV.Backend != "victim" || rsC.Backend != "survivor" {
+		t.Fatalf("placement: %q / %q, want victim / survivor", rsV.Backend, rsC.Backend)
+	}
+
+	// Kill the victim's HTTP face mid-run (the job sleeps ~1.2s).
+	victim.ts.CloseClientConnections()
+	victim.ts.Close()
+
+	final := waitTerminal(t, ts.URL, rsV.ID, 20*time.Second)
+	control := waitTerminal(t, ts.URL, rsC.ID, 20*time.Second)
+	if final.State != service.Succeeded {
+		t.Fatalf("failed-over job: %+v", final)
+	}
+	if final.Backend != "survivor" {
+		t.Fatalf("failed-over job finished on %q, want survivor", final.Backend)
+	}
+	if final.SinkDigest == "" || final.SinkDigest != control.SinkDigest {
+		t.Fatalf("digest after failover %q != control %q", final.SinkDigest, control.SinkDigest)
+	}
+	if v, _ := reg.Value("ftrouter_failover_total"); v != 1 {
+		t.Fatalf("ftrouter_failover_total = %v, want 1", v)
+	}
+	if v, _ := reg.Value("ftrouter_rerouted_jobs_total"); v < 1 {
+		t.Fatalf("ftrouter_rerouted_jobs_total = %v, want >= 1", v)
+	}
+	if h, ok := reg.Value("ftrouter_failover_seconds"); !ok || h != 1 {
+		t.Fatalf("ftrouter_failover_seconds count = %v, want 1 observation", h)
+	}
+}
+
+// TestRouterDrainMigration: draining a backend checkpoints its running
+// job incomplete and the router resubmits it to the survivor; the drained
+// node keeps answering status queries but refuses new admissions.
+func TestRouterDrainMigration(t *testing.T) {
+	source := newTestBackend(t, "source", true)
+	target := newTestBackend(t, "target", true)
+	_, ts := newTestRouter(t, nil, source, target)
+
+	key := keyOwnedBy("source", "source", "target")
+	body := `{"name":"mig","tasks":8,"sleep_ms":150}`
+	resp, rs := submitViaRouter(t, ts.URL, key, body)
+	if resp.StatusCode != http.StatusAccepted || rs.Backend != "source" {
+		t.Fatalf("submit: %s onto %q", resp.Status, rs.Backend)
+	}
+
+	dresp, err := http.Post(ts.URL+"/drain/source?grace_ms=50", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dr struct {
+		Backend   string `json:"backend"`
+		Completed int    `json:"completed"`
+		Migrated  int    `json:"migrated"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	_ = dresp.Body.Close() // decoded above
+	if dresp.StatusCode != http.StatusOK || dr.Migrated != 1 {
+		t.Fatalf("drain response %s: %+v, want 1 migrated", dresp.Status, dr)
+	}
+
+	final := waitTerminal(t, ts.URL, rs.ID, 20*time.Second)
+	if final.State != service.Succeeded || final.Backend != "target" {
+		t.Fatalf("migrated job: %+v, want succeeded on target", final)
+	}
+
+	// The drained node still answers, but refuses admissions with 503.
+	direct, err := http.Post(source.ts.URL+"/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = direct.Body.Close() // status code is the assertion
+	if direct.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("direct submit to drained node: %s, want 503", direct.Status)
+	}
+	hresp, err := http.Get(source.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	_ = hresp.Body.Close() // decoded above
+	if !h.Draining || h.Status != "draining" {
+		t.Fatalf("drained node healthz = %+v, want draining", h)
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// IncompleteJob is one job Drain could not finish within its grace: the
+// journaled identity a router needs to resubmit the job on another backend
+// (the Payload goes through the receiving server's Config.Rebuild-equivalent
+// build path, exactly like crash replay).
+type IncompleteJob struct {
+	ID            int64           `json:"id"`
+	Name          string          `json:"name,omitempty"`
+	Payload       json.RawMessage `json:"payload,omitempty"`
+	Recovery      string          `json:"recovery,omitempty"`
+	ReplicaBudget float64         `json:"replica_budget,omitempty"`
+}
+
+// DrainResult reports a Drain: how many in-flight jobs finished within the
+// grace and which were checkpointed incomplete for migration.
+type DrainResult struct {
+	// Completed counts the jobs that were in flight when the drain began
+	// and reached a terminal state on this server.
+	Completed int `json:"completed"`
+	// Incomplete lists the jobs aborted at grace expiry. They carry no
+	// terminal record in the journal — a restart of this server would
+	// re-run them — and their payloads are handed to the caller for
+	// resubmission elsewhere.
+	Incomplete []IncompleteJob `json:"incomplete"`
+}
+
+// Draining reports whether Drain has stopped admission.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission (Submit fails with ErrDraining) and gives the jobs
+// currently queued or running up to grace to finish; grace <= 0 waits
+// indefinitely. Jobs still unfinished at expiry are aborted WITHOUT a
+// terminal journal record — like Shutdown's grace expiry, they stay
+// incomplete in the write-ahead log — and returned so a router can resubmit
+// their payloads to another backend. Unlike Close/Shutdown the server keeps
+// running: status queries, metrics, and journal tailing stay live, and the
+// pool and journal stay open. Drain is idempotent in effect (a second call
+// finds nothing in flight) but not concurrent-safe with Close/Shutdown.
+func (s *Server) Drain(grace time.Duration) DrainResult {
+	s.mu.Lock()
+	s.draining = true
+	all := make([]*job, 0, len(s.jobs))
+	for _, id := range s.order {
+		all = append(all, s.jobs[id])
+	}
+	s.mu.Unlock()
+	// Submits that had passed the draining check before it was set are
+	// still enqueueing; wait for them so the pending set is complete.
+	s.submitWG.Wait()
+
+	var pending []*job
+	for _, j := range all {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			pending = append(pending, j)
+		}
+	}
+
+	var res DrainResult
+	var expire <-chan time.Time
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		expire = t.C
+	}
+	i := 0
+wait:
+	for ; i < len(pending); i++ {
+		select {
+		case <-pending[i].done:
+		case <-expire:
+			break wait
+		}
+	}
+	res.Completed = i
+
+	// Grace expired: checkpoint the rest as incomplete (no terminal journal
+	// record — the shutdownAbort path) and abort them.
+	leftovers := pending[i:]
+	for _, j := range leftovers {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.shutdownAbort = true
+		}
+		j.mu.Unlock()
+		j.cancelNow()
+	}
+	for _, j := range leftovers {
+		<-j.done
+	}
+	for _, j := range leftovers {
+		j.mu.Lock()
+		// A job can win the race and finish normally between the expiry
+		// and the abort; it counts as completed, not incomplete.
+		if j.shutdownAbort && j.state == Cancelled {
+			res.Incomplete = append(res.Incomplete, IncompleteJob{
+				ID:            j.id,
+				Name:          j.spec.Name,
+				Payload:       json.RawMessage(j.spec.Payload),
+				Recovery:      string(j.spec.Recovery),
+				ReplicaBudget: j.spec.ReplicaBudget,
+			})
+		} else {
+			res.Completed++
+		}
+		j.mu.Unlock()
+	}
+	return res
+}

@@ -40,6 +40,10 @@ var (
 	ErrQueueFull = errors.New("service: admission queue full")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("service: server closed")
+	// ErrDraining reports a Submit while the server is draining for
+	// migration (Drain): admission is stopped but the server still serves
+	// status queries. Callers should resubmit elsewhere.
+	ErrDraining = errors.New("service: server draining")
 	// ErrDeadlineExceeded reports that a job's per-job deadline expired
 	// before it completed; the job was aborted.
 	ErrDeadlineExceeded = errors.New("service: job deadline exceeded")
@@ -79,6 +83,23 @@ func (s State) String() string {
 
 // MarshalJSON encodes the state as its lowercase name.
 func (s State) MarshalJSON() ([]byte, error) { return []byte(`"` + s.String() + `"`), nil }
+
+// UnmarshalJSON decodes the lowercase name written by MarshalJSON, so a
+// Status round-trips through JSON (the shard router decodes backend
+// responses this way).
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range stateNames {
+		if n == name {
+			*s = State(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("service: unknown state %q", name)
+}
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool { return s == Succeeded || s == Failed || s == Cancelled }
@@ -238,6 +259,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	nextID   int64
 	jobs     map[int64]*job
 	order    []int64 // submission order, for listings
@@ -466,6 +488,10 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
 	}
 	// Reserve queue capacity under mu — the journal append below happens
 	// outside the lock, so the channel send must be guaranteed not to
