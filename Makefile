@@ -13,9 +13,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet lint race build386 soak crashsoak clustersoak sdcsoak fuzz bench-service bench-replica benchobs benchsched
+.PHONY: ci build test vet lint lint-json race build386 soak crashsoak clustersoak sdcsoak fuzz bench-service bench-replica benchobs benchsched
 
-ci: build test vet lint race build386 sdcsoak clustersoak benchsched
+ci: build test vet lint lint-json race build386 sdcsoak clustersoak benchsched
 
 # Tier-1 gate (ROADMAP.md): must stay green on every PR.
 build:
@@ -27,20 +27,29 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The repository's own analyzer suite: mixed atomic/plain field access,
-# blocking ops under a mutex, determinism-manifest violations, discarded
-# durability-path errors, 32-bit atomic alignment. Suppressions are
+# The repository's own analyzer suite, all eight analyzers: mixed
+# atomic/plain field access, blocking ops under a mutex,
+# determinism-manifest violations, discarded durability-path errors, 32-bit
+# atomic alignment, plus the interprocedural trio — lock-order cycles,
+# goroutine leaks, and the fsync-before-ack proof. Suppressions are
 # //lint:ignore <analyzer> <reason>; see README "Static analysis".
 lint:
 	$(GO) run ./cmd/ftlint ./...
 
+# JSON-output smoke: the structured report the scenario-matrix triage
+# consumes must parse and schema-validate against live ftlint output —
+# -json output is piped straight back into ftlint's own reader.
+lint-json:
+	$(GO) run ./cmd/ftlint -json ./... | $(GO) run ./cmd/ftlint -validate
+
 # The concurrency-critical packages run under the race detector on every PR:
 # the work-stealing runtime, the sharded map backing the task/recovery
 # tables, the multi-job service that multiplexes jobs onto one pool, the
-# group-commit write-ahead log under it, and the shared-mutation observability
-# primitives (metrics registry, trace ring).
+# group-commit write-ahead log under it, the shared-mutation observability
+# primitives (metrics registry, trace ring), the cluster router/standby
+# follower, the continuation-passing executor core, and the fault injector.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/... ./internal/metrics/... ./internal/trace/... ./internal/replica/...
+	$(GO) test -race ./internal/sched/... ./internal/cmap/... ./internal/service/... ./internal/journal/... ./internal/deque/... ./internal/block/... ./internal/bitvec/... ./internal/metrics/... ./internal/trace/... ./internal/replica/... ./internal/cluster/... ./internal/core/... ./internal/fault/...
 
 # Cross-compile smoke for 32-bit: pairs with the atomicalign analyzer —
 # the build proves the tree compiles where 64-bit atomics need 8-byte

@@ -394,6 +394,8 @@ func (j *Journal) writeSnapshot(st *State, seq uint64) error {
 // state, and fsynced (group commit — concurrent appenders share syncs)
 // before Append returns. Rotation and snapshotting happen inline when the
 // segment crosses the size threshold.
+//
+//lint:durable fsync
 func (j *Journal) Append(rec Record) error {
 	o := j.obs.Load()
 	var appendStart time.Time

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags goroutines that can never terminate: a go statement whose
+// launched function (summary-expanded through the call graph) contains an
+// exitless loop — a bare `for {}` loop whose body has no termination edge
+// at all: no return, no break/goto, no channel receive, no select, and no
+// range over a channel. Such a goroutine outlives every owner; on Shutdown
+// or Drain it leaks, and a pool of them pins CPU forever. The drain paths in
+// service and cluster are the motivating consumers: their health probers,
+// WAL followers, and watchdogs must all carry a stop edge.
+//
+// The check is deliberately about structure, not liveness: a loop that
+// selects on a done channel or polls an atomic flag and returns has a
+// termination edge and passes, even if nothing ever signals it — proving the
+// signal fires is a soundness problem this suite does not pretend to solve.
+// Conversely a loop whose only exit is a panic does not pass. Conditioned,
+// counted, and range loops never trigger: only the bare `for {}` form is a
+// candidate. Interprocedural: `go s.loop()` is
+// checked against loop's own body, and a launched literal that merely calls
+// into an exitless loop five frames down is still flagged, with the call
+// chain as the witness.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines must have a termination edge (no exitless loops reachable from a go statement)",
+	Run:  goLeakRun,
+}
+
+func goLeakRun(pass *Pass) {
+	facts := pass.Facts
+	if facts.goLeaks == nil {
+		facts.goLeaks = computeGoLeaks(pass.Fset, facts.Graph)
+	}
+	for _, d := range facts.goLeaks {
+		if d.pkg == pass.Pkg {
+			pass.report(d.diag)
+		}
+	}
+}
+
+// exitlessLoop finds a loop with no termination edge in the function's own
+// body (nested literals excluded), returning its position.
+func exitlessLoop(n *FuncNode, info *types.Info) (token.Pos, bool) {
+	var found token.Pos
+	ok := false
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if n.Lit != x {
+				return false
+			}
+		case *ast.ForStmt:
+			// Only `for {}` can spin forever by construction: a conditioned
+			// or counted loop exits through its condition, and range loops
+			// are bounded by their operand (range over a channel even has a
+			// close edge).
+			if x.Cond == nil && !loopHasExit(x.Body, info) {
+				found, ok = x.For, true
+				return false
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+// loopHasExit reports whether a loop body contains any termination edge:
+// return, break, goto, select, channel receive, or range over a channel.
+// Nested function literals do not count — their control flow is their own.
+func loopHasExit(body *ast.BlockStmt, info *types.Info) bool {
+	exit := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK || x.Tok == token.GOTO {
+				exit = true
+			}
+		case *ast.SelectStmt:
+			exit = true // blocking on comms is a termination edge by contract
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				exit = true // channel receive
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[x.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					exit = true
+				}
+			}
+		}
+		return true
+	})
+	return exit
+}
+
+func computeGoLeaks(fset *token.FileSet, g *Graph) []pkgDiag {
+	if g == nil {
+		return []pkgDiag{}
+	}
+	// Per-function fact: does this body itself contain an exitless loop?
+	type loopFact struct {
+		pos token.Pos
+		has bool
+	}
+	loops := make(map[string]loopFact)
+	g.Nodes(func(n *FuncNode) {
+		pos, has := exitlessLoop(n, n.Pkg.Info)
+		loops[n.Key] = loopFact{pos: pos, has: has}
+	})
+
+	// For each go statement, search the static call graph from the target
+	// for a function with an exitless loop; the BFS path is the witness.
+	var out []pkgDiag
+	g.Nodes(func(n *FuncNode) {
+		for _, cs := range n.Calls {
+			if !cs.Go {
+				continue
+			}
+			target := g.Funcs[cs.Callee]
+			if target == nil {
+				continue
+			}
+			key, chain, found := findExitless(g, cs.Callee, func(k string) (token.Pos, bool) {
+				f := loops[k]
+				return f.pos, f.has
+			})
+			if !found {
+				continue
+			}
+			culprit := g.Funcs[key]
+			var witness []WitnessStep
+			witness = append(witness, WitnessStep{Pos: fset.Position(cs.Pos), Note: "goroutine launched"})
+			for _, step := range chain {
+				sn := g.Funcs[step.fn]
+				witness = append(witness, WitnessStep{Pos: fset.Position(step.pos),
+					Note: fmt.Sprintf("calls %s", sn.Name)})
+			}
+			witness = append(witness, WitnessStep{Pos: fset.Position(loops[key].pos),
+				Note: fmt.Sprintf("exitless loop in %s", culprit.Name)})
+			msg := fmt.Sprintf("goroutine has no termination edge: %s loops forever (no return, break, channel receive, or select) at %s",
+				culprit.Name, fset.Position(loops[key].pos))
+			if culprit == target {
+				msg = fmt.Sprintf("goroutine has no termination edge: loop at %s has no return, break, channel receive, or select",
+					fset.Position(loops[key].pos))
+			}
+			out = append(out, pkgDiag{
+				pkg:  n.Pkg,
+				diag: Diagnostic{Pos: fset.Position(cs.Pos), Analyzer: "goleak", Message: msg, Witness: witness},
+			})
+		}
+	})
+	return out
+}
+
+// chainStep is one call edge of a witness path.
+type chainStep struct {
+	fn  string // caller
+	pos token.Pos
+}
+
+// findExitless BFS-walks static call edges from key looking for the nearest
+// function with an exitless loop, returning its key and the call chain from
+// the origin (exclusive) to it.
+func findExitless(g *Graph, key string, loopAt func(string) (token.Pos, bool)) (string, []chainStep, bool) {
+	type qent struct {
+		key   string
+		chain []chainStep
+	}
+	seen := map[string]bool{key: true}
+	queue := []qent{{key: key}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := g.Funcs[cur.key]
+		if n == nil {
+			continue
+		}
+		if _, has := loopAt(cur.key); has {
+			return cur.key, cur.chain, true
+		}
+		for _, cs := range n.Calls {
+			if cs.Go {
+				continue // a nested launch is its own go site, judged separately
+			}
+			if seen[cs.Callee] {
+				continue
+			}
+			seen[cs.Callee] = true
+			chain := append(append([]chainStep{}, cur.chain...), chainStep{fn: cur.key, pos: cs.Pos})
+			queue = append(queue, qent{key: cs.Callee, chain: chain})
+		}
+	}
+	return "", nil, false
+}

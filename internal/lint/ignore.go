@@ -9,6 +9,7 @@ import (
 type ignoreDirective struct {
 	pos      token.Position
 	analyzer string
+	reason   string
 	used     bool
 }
 
@@ -45,6 +46,7 @@ func collectIgnores(fset *token.FileSet, pkgs []*Package) (*ignoreSet, []Diagnos
 					set.directives = append(set.directives, &ignoreDirective{
 						pos:      pos,
 						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
 					})
 				}
 			}
@@ -55,19 +57,23 @@ func collectIgnores(fset *token.FileSet, pkgs []*Package) (*ignoreSet, []Diagnos
 
 // suppresses reports whether some directive covers d: same file, matching
 // analyzer, and the directive sits on the finding's line (trailing comment)
-// or on the line directly above it.
-func (s *ignoreSet) suppresses(d Diagnostic) bool {
-	hit := false
+// or on the line directly above it. The written reason of the first covering
+// directive is returned for the verbose (JSON) view.
+func (s *ignoreSet) suppresses(d Diagnostic) (string, bool) {
+	reason, hit := "", false
 	for _, dir := range s.directives {
 		if dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
 			continue
 		}
 		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
 			dir.used = true
+			if !hit {
+				reason = dir.reason
+			}
 			hit = true // keep scanning so stacked directives all count as used
 		}
 	}
-	return hit
+	return reason, hit
 }
 
 // unused reports every directive that suppressed nothing — stale

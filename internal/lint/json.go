@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON schema for `ftlint -json`: a Report with one Finding per
+// diagnostic, suppressed findings included and marked. This is the interface
+// the CI smoke target and the scenario-matrix triage consume, so it
+// round-trips: WriteJSON then ReadJSON yields the same Report, and ReadJSON
+// rejects documents that drop required fields.
+
+// Report is the top-level JSON document.
+type Report struct {
+	// Analyzers lists every analyzer that ran, whether or not it fired.
+	Analyzers []string  `json:"analyzers"`
+	Findings  []Finding `json:"findings"`
+	// Active counts findings that are neither suppressed nor informational:
+	// the exit-code driver. Always equal to the number of unsuppressed
+	// findings; serialized so consumers need not recount.
+	Active int `json:"active"`
+}
+
+// Finding is the JSON form of one Diagnostic.
+type Finding struct {
+	Analyzer     string        `json:"analyzer"`
+	File         string        `json:"file"`
+	Line         int           `json:"line"`
+	Col          int           `json:"col"`
+	Message      string        `json:"message"`
+	Witness      []FindingStep `json:"witness,omitempty"`
+	Suppressed   bool          `json:"suppressed"`
+	SuppressedBy string        `json:"suppressedBy,omitempty"`
+}
+
+// FindingStep is one hop of a witness chain.
+type FindingStep struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Note string `json:"note"`
+}
+
+// NewReport converts verbose diagnostics into the wire form.
+func NewReport(analyzers []*Analyzer, diags []Diagnostic) *Report {
+	r := &Report{Analyzers: make([]string, 0, len(analyzers)), Findings: make([]Finding, 0, len(diags))}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		f := Finding{
+			Analyzer:     d.Analyzer,
+			File:         d.Pos.Filename,
+			Line:         d.Pos.Line,
+			Col:          d.Pos.Column,
+			Message:      d.Message,
+			Suppressed:   d.Suppressed,
+			SuppressedBy: d.SuppressedBy,
+		}
+		for _, w := range d.Witness {
+			f.Witness = append(f.Witness, FindingStep{
+				File: w.Pos.Filename, Line: w.Pos.Line, Col: w.Pos.Column, Note: w.Note,
+			})
+		}
+		if !d.Suppressed {
+			r.Active++
+		}
+		r.Findings = append(r.Findings, f)
+	}
+	return r
+}
+
+// WriteJSON serializes the report, indented, newline-terminated.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses and schema-validates a report: required fields present,
+// positions sane, the Active count consistent with the findings. This is the
+// reader the lint-json CI smoke target runs against live output.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("lint report: %w", err)
+	}
+	if r.Analyzers == nil {
+		return nil, fmt.Errorf("lint report: missing \"analyzers\"")
+	}
+	if r.Findings == nil {
+		return nil, fmt.Errorf("lint report: missing \"findings\"")
+	}
+	active := 0
+	for i, f := range r.Findings {
+		if f.Analyzer == "" {
+			return nil, fmt.Errorf("lint report: finding %d has no analyzer", i)
+		}
+		if f.Message == "" {
+			return nil, fmt.Errorf("lint report: finding %d has no message", i)
+		}
+		if f.Line < 0 || f.Col < 0 {
+			return nil, fmt.Errorf("lint report: finding %d has a negative position", i)
+		}
+		if f.Suppressed && f.SuppressedBy == "" {
+			return nil, fmt.Errorf("lint report: finding %d is suppressed without a reason", i)
+		}
+		if !f.Suppressed {
+			active++
+		}
+		for j, w := range f.Witness {
+			if w.Note == "" {
+				return nil, fmt.Errorf("lint report: finding %d witness step %d has no note", i, j)
+			}
+		}
+	}
+	if active != r.Active {
+		return nil, fmt.Errorf("lint report: active count %d does not match findings (%d unsuppressed)", r.Active, active)
+	}
+	return &r, nil
+}

@@ -9,11 +9,24 @@ import (
 )
 
 // Diagnostic is one finding: a position, the analyzer that raised it, and a
-// message. The String form is the CI-facing output format.
+// message. The String form is the CI-facing output format. Interprocedural
+// analyzers attach a Witness chain — the path of positions that makes the
+// finding checkable by a human. Suppressed findings are normally filtered
+// out; the verbose (JSON) path keeps them, marked.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Witness  []WitnessStep
+
+	Suppressed   bool
+	SuppressedBy string // the //lint:ignore reason that excused it
+}
+
+// WitnessStep is one hop of an interprocedural witness chain.
+type WitnessStep struct {
+	Pos  token.Position
+	Note string
 }
 
 func (d Diagnostic) String() string {
@@ -40,6 +53,16 @@ type Facts struct {
 	// Deterministic records packages carrying a //lint:deterministic
 	// directive: the determinism manifest for the detrand analyzer.
 	Deterministic map[string]bool
+
+	// Graph is the module-wide call graph built once per Check, shared by
+	// the interprocedural analyzers (lockorder, goleak, ackorder).
+	Graph *Graph
+
+	// Cached module-wide results: each is computed by the first Run of its
+	// analyzer and replayed into every later pass for routing.
+	lockCycles []pkgDiag
+	goLeaks    []pkgDiag
+	ackDiags   []pkgDiag
 }
 
 func newFacts() *Facts {
@@ -89,12 +112,27 @@ type Analyzer struct {
 }
 
 // All is the full analyzer suite, in reporting order.
-var All = []*Analyzer{MixedAtomic, LockScope, DetRand, ErrSink, AtomicAlign}
+var All = []*Analyzer{MixedAtomic, LockScope, DetRand, ErrSink, AtomicAlign, LockOrder, GoLeak, AckOrder}
 
 // Check runs the analyzers over the packages and returns the surviving
 // findings sorted by position: load errors first-class, //lint:ignore
 // suppressions applied, unused suppressions reported.
 func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	all := CheckVerbose(fset, pkgs, analyzers)
+	out := make([]Diagnostic, 0, len(all))
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CheckVerbose is Check without the suppression filter: suppressed findings
+// stay in the result, marked with the reason that excused them. This is the
+// -json view — a triage consumer needs to see what was waived, not just what
+// fired.
+func CheckVerbose(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	var healthy []*Package
 	for _, pkg := range pkgs {
@@ -120,6 +158,10 @@ func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagno
 	collect() // second round: wrapper call sites in packages collected before the wrapper's own package
 
 	var found []Diagnostic
+	// The interprocedural foundation: one call graph per Check, shared by
+	// every analyzer that asks. Malformed //lint:durable directives are
+	// findings of their own, suppressible like any other.
+	facts.Graph = buildGraph(fset, healthy, func(d Diagnostic) { found = append(found, d) })
 	for _, a := range analyzers {
 		for _, pkg := range healthy {
 			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Facts: facts,
@@ -131,9 +173,11 @@ func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagno
 	sup, supDiags := collectIgnores(fset, healthy)
 	diags = append(diags, supDiags...)
 	for _, d := range found {
-		if !sup.suppresses(d) {
-			diags = append(diags, d)
+		if reason, ok := sup.suppresses(d); ok {
+			d.Suppressed = true
+			d.SuppressedBy = reason
 		}
+		diags = append(diags, d)
 	}
 	diags = append(diags, sup.unused()...)
 

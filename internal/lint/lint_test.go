@@ -141,6 +141,9 @@ func TestModuleClean(t *testing.T) {
 // non-empty names (they are the suppression keys) and one-line docs for
 // ftlint -list.
 func TestAnalyzerMetadata(t *testing.T) {
+	if len(All) != 8 {
+		t.Errorf("suite has %d analyzers, want 8 (mixedatomic, lockscope, detrand, errsink, atomicalign, lockorder, goleak, ackorder)", len(All))
+	}
 	seen := make(map[string]bool)
 	for _, a := range All {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {

@@ -1,0 +1,524 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-acquisition graph and reports cycles
+// in the may-hold-while-acquiring relation as potential deadlocks.
+//
+// Locks are identified structurally, so the relation survives crossing
+// package boundaries: a sync.Mutex / sync.RWMutex struct field is
+// "pkgpath.Type.field" (every instance of the type shares the identity — the
+// classic AB/BA deadlock is between two instances), a package-level mutex is
+// "pkgpath.var", and a function-local mutex is scoped to its function (it
+// cannot participate in a cross-function cycle). Read locks count like write
+// locks: a reader holding A while a writer-held B waits for A deadlocks the
+// same way.
+//
+// The analysis is interprocedural via per-function summaries: a linear
+// lockscope-style scan records which locks each function acquires directly
+// and which locks are held at each outgoing call; a fixpoint over the call
+// graph then expands each callee into the set of locks it may transitively
+// acquire. An edge A→B ("B acquired while A held") therefore exists whether
+// B is locked in the same function or five calls down. Cycles are reported
+// once, at the acquisition site of the lexicographically first edge, with a
+// witness chain for every edge of the cycle. Same-lock self-edges (two
+// instances of one sharded type) are deliberately not reported: the graph
+// cannot tell instances apart, and ordered sharded locking is a legitimate
+// idiom.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "module-wide lock-acquisition graph must stay acyclic (interprocedural AB/BA deadlock detection)",
+	Run:  lockOrderRun,
+}
+
+// lockAcq is one direct lock acquisition inside a function.
+type lockAcq struct {
+	lock string
+	pos  token.Pos
+}
+
+// heldCall is one outgoing call made while locks are held.
+type heldCall struct {
+	callee string
+	held   []lockAcq // snapshot: lock identity + where it was acquired
+	pos    token.Pos
+}
+
+// lockSummary is the per-function lock behavior.
+type lockSummary struct {
+	node    *FuncNode
+	direct  []lockAcq            // locks acquired in this body
+	edges   []lockEdge           // intraprocedural hold-while-acquire pairs
+	calls   []heldCall           // calls with a non-empty held set
+	acquire map[string]token.Pos // transitive may-acquire: lock -> local witness pos
+	via     map[string]string    // lock -> callee key through which it is acquired ("" = direct)
+}
+
+// lockEdge is "to acquired while from was held".
+type lockEdge struct {
+	from, to   string
+	fromPos    token.Pos // where from was acquired
+	toPos      token.Pos // where to was acquired (or the call leading to it)
+	via        []WitnessStep
+	summaryPkg *Package // package owning toPos, for report routing
+}
+
+// lockOrderRun computes the module-wide analysis once and emits each cycle
+// in the package that owns its anchor position.
+func lockOrderRun(pass *Pass) {
+	facts := pass.Facts
+	if facts.lockCycles == nil {
+		facts.lockCycles = computeLockCycles(pass.Fset, facts.Graph)
+	}
+	for _, d := range facts.lockCycles {
+		if d.pkg == pass.Pkg {
+			pass.report(d.diag)
+		}
+	}
+}
+
+// pkgDiag routes a precomputed module-wide diagnostic to its package's pass.
+type pkgDiag struct {
+	pkg  *Package
+	diag Diagnostic
+}
+
+func computeLockCycles(fset *token.FileSet, g *Graph) []pkgDiag {
+	if g == nil {
+		return []pkgDiag{}
+	}
+	// Phase 1: per-function summaries.
+	sums := make(map[string]*lockSummary)
+	g.Nodes(func(n *FuncNode) {
+		sums[n.Key] = scanLocks(n)
+	})
+
+	// Phase 2: transitive may-acquire fixpoint over static call edges.
+	// Go-launched callees are excluded: a goroutine does not run under the
+	// launcher's locks, and the launcher does not wait for the goroutine's.
+	for changed := true; changed; {
+		changed = false
+		g.Nodes(func(n *FuncNode) {
+			s := sums[n.Key]
+			for _, cs := range n.Calls {
+				if cs.Go {
+					continue
+				}
+				cal := sums[cs.Callee]
+				if cal == nil {
+					continue
+				}
+				for lock := range cal.acquire {
+					if _, ok := s.acquire[lock]; !ok {
+						s.acquire[lock] = cs.Pos
+						s.via[lock] = cs.Callee
+						changed = true
+					}
+				}
+			}
+		})
+	}
+
+	// Phase 3: build the lock graph. Intraprocedural edges come straight
+	// from the scans; interprocedural edges pair each call's held set with
+	// the callee's transitive acquire set.
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(e *lockEdge) {
+		if e.from == e.to {
+			return // sharded same-identity locking; instances are indistinguishable
+		}
+		key := [2]string{e.from, e.to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = e
+		}
+	}
+	g.Nodes(func(n *FuncNode) {
+		s := sums[n.Key]
+		for _, e := range s.edges {
+			e := e
+			e.summaryPkg = n.Pkg
+			e.via = []WitnessStep{
+				{Pos: fset.Position(e.fromPos), Note: fmt.Sprintf("%s acquired", lockDisplay(e.from))},
+				{Pos: fset.Position(e.toPos), Note: fmt.Sprintf("%s acquired while %s held (same function)", lockDisplay(e.to), lockDisplay(e.from))},
+			}
+			addEdge(&e)
+		}
+		for _, hc := range s.calls {
+			cal := sums[hc.callee]
+			if cal == nil {
+				continue
+			}
+			callee := g.Funcs[hc.callee]
+			for lock := range cal.acquire {
+				for _, h := range hc.held {
+					steps := []WitnessStep{
+						{Pos: fset.Position(h.pos), Note: fmt.Sprintf("%s acquired", lockDisplay(h.lock))},
+						{Pos: fset.Position(hc.pos), Note: fmt.Sprintf("call to %s with %s held", callee.Name, lockDisplay(h.lock))},
+					}
+					steps = append(steps, acquireChain(fset, sums, g, hc.callee, lock, 8)...)
+					addEdge(&lockEdge{
+						from: h.lock, to: lock,
+						fromPos: h.pos, toPos: hc.pos,
+						via:        steps,
+						summaryPkg: n.Pkg,
+					})
+				}
+			}
+		}
+	})
+
+	// Phase 4: cycle detection. Iteratively find a cycle via DFS, report
+	// it, remove one of its edges, and repeat — each independent cycle is
+	// reported once, deterministically anchored at its lexicographically
+	// smallest lock.
+	var out []pkgDiag
+	for range [64]struct{}{} { // hard bound; real lock graphs are tiny
+		cyc := findLockCycle(edges)
+		if cyc == nil {
+			break
+		}
+		first := edges[[2]string{cyc[0], cyc[1]}]
+		var names []string
+		var witness []WitnessStep
+		for i := 0; i < len(cyc)-1; i++ {
+			e := edges[[2]string{cyc[i], cyc[i+1]}]
+			names = append(names, lockDisplay(e.from))
+			witness = append(witness, e.via...)
+		}
+		out = append(out, pkgDiag{
+			pkg: first.summaryPkg,
+			diag: Diagnostic{
+				Pos:      fset.Position(first.toPos),
+				Analyzer: "lockorder",
+				Message: fmt.Sprintf("lock-order cycle (potential deadlock): %s → %s",
+					strings.Join(names, " → "), lockDisplay(first.from)),
+				Witness: witness,
+			},
+		})
+		delete(edges, [2]string{cyc[0], cyc[1]})
+	}
+	return out
+}
+
+// acquireChain reconstructs the call path by which fn transitively acquires
+// lock, as witness steps.
+func acquireChain(fset *token.FileSet, sums map[string]*lockSummary, g *Graph, fn, lock string, depth int) []WitnessStep {
+	var steps []WitnessStep
+	for depth > 0 {
+		depth--
+		s := sums[fn]
+		if s == nil {
+			break
+		}
+		pos, ok := s.acquire[lock]
+		if !ok {
+			break
+		}
+		via := s.via[lock]
+		if via == "" {
+			steps = append(steps, WitnessStep{Pos: fset.Position(pos),
+				Note: fmt.Sprintf("%s acquired in %s", lockDisplay(lock), g.Funcs[fn].Name)})
+			break
+		}
+		steps = append(steps, WitnessStep{Pos: fset.Position(pos),
+			Note: fmt.Sprintf("%s calls %s", g.Funcs[fn].Name, g.Funcs[via].Name)})
+		fn = via
+	}
+	return steps
+}
+
+// findLockCycle returns one cycle as a lock sequence [a b ... a], choosing
+// the cycle whose rotation starts at the lexicographically smallest lock,
+// or nil. DFS over the (small) lock graph.
+func findLockCycle(edges map[[2]string]*lockEdge) []string {
+	adj := make(map[string][]string)
+	var locks []string
+	seenLock := make(map[string]bool)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		for _, l := range []string{k[0], k[1]} {
+			if !seenLock[l] {
+				seenLock[l] = true
+				locks = append(locks, l)
+			}
+		}
+	}
+	sort.Strings(locks)
+	for _, l := range adj {
+		sort.Strings(l)
+	}
+	// DFS from each lock in order; the first cycle found through the
+	// smallest start lock is the canonical one.
+	for _, start := range locks {
+		var path []string
+		onPath := make(map[string]bool)
+		var dfs func(cur string) []string
+		dfs = func(cur string) []string {
+			path = append(path, cur)
+			onPath[cur] = true
+			for _, next := range adj[cur] {
+				if next == start {
+					return append(append([]string{}, path...), start)
+				}
+				if !onPath[next] && next > start { // only visit locks > start: canonical rotation
+					if c := dfs(next); c != nil {
+						return c
+					}
+				}
+			}
+			path = path[:len(path)-1]
+			onPath[cur] = false
+			return nil
+		}
+		if c := dfs(start); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// lockDisplay strips the module-internal path prefix for readable reports.
+func lockDisplay(lock string) string {
+	if i := strings.LastIndex(lock, "/"); i >= 0 {
+		return lock[i+1:]
+	}
+	return lock
+}
+
+// scanLocks runs the linear held-set scan over one function body.
+func scanLocks(n *FuncNode) *lockSummary {
+	s := &lockSummary{
+		node:    n,
+		acquire: make(map[string]token.Pos),
+		via:     make(map[string]string),
+	}
+	sc := &lockScan{sum: s, pkg: n.Pkg, fn: n.Key, held: make(map[string]token.Pos)}
+	sc.stmts(n.Body().List)
+	for _, a := range s.direct {
+		if _, ok := s.acquire[a.lock]; !ok {
+			s.acquire[a.lock] = a.pos
+			s.via[a.lock] = ""
+		}
+	}
+	return s
+}
+
+type lockScan struct {
+	sum  *lockSummary
+	pkg  *Package
+	fn   string
+	held map[string]token.Pos
+}
+
+// lockIdent names the lock behind a mutex method receiver expression, or ""
+// when no stable identity exists.
+func (sc *lockScan) lockIdent(expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if key, ok := fieldKey(sc.pkg.Info, e); ok {
+			return key
+		}
+		// Package-qualified global (pkg.Mu): the selector resolves to a
+		// package-level var.
+		if obj := sc.pkg.Info.Uses[e.Sel]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := sc.pkg.Info.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name() // package-level mutex
+		}
+		return "local:" + sc.fn + "." + e.Name // function-local: scoped identity
+	}
+	return ""
+}
+
+func (sc *lockScan) heldSnapshot() []lockAcq {
+	var out []lockAcq
+	for l, p := range sc.held {
+		out = append(out, lockAcq{lock: l, pos: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lock < out[j].lock })
+	return out
+}
+
+func (sc *lockScan) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		sc.stmt(s)
+	}
+}
+
+func (sc *lockScan) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && sc.lockOp(call, false) {
+			return
+		}
+		sc.expr(s.X)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to the end of the linear
+		// scan — the conservative direction for edge discovery.
+		sc.lockOp(s.Call, true)
+	case *ast.GoStmt:
+		// The goroutine body runs without the launcher's locks; its literal
+		// is its own graph node. Arguments are evaluated here, though.
+		for _, a := range s.Call.Args {
+			sc.expr(a)
+		}
+	case *ast.SendStmt:
+		sc.expr(s.Chan)
+		sc.expr(s.Value)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			sc.expr(e)
+		}
+		for _, e := range s.Lhs {
+			sc.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			sc.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sc.stmt(s.Init)
+		}
+		sc.expr(s.Cond)
+		sc.stmts(s.Body.List)
+		if s.Else != nil {
+			sc.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sc.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			sc.expr(s.Cond)
+		}
+		sc.stmts(s.Body.List)
+		if s.Post != nil {
+			sc.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		sc.expr(s.X)
+		sc.stmts(s.Body.List)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					sc.stmt(cc.Comm)
+				}
+				sc.stmts(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sc.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			sc.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sc.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sc.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		sc.stmts(s.List)
+	case *ast.LabeledStmt:
+		sc.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						sc.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		sc.expr(s.X)
+	}
+}
+
+// lockOp updates the held set for mutex Lock/Unlock calls, recording
+// acquisition edges. Returns true when the call was a lock operation.
+func (sc *lockScan) lockOp(call *ast.CallExpr, deferred bool) bool {
+	info := sc.pkg.Info
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	isMutex := isMethodOn(info, call, "sync", "Mutex", name) ||
+		isMethodOn(info, call, "sync", "RWMutex", name)
+	if !isMutex {
+		return false
+	}
+	lock := sc.lockIdent(sel.X)
+	if lock == "" {
+		return true // unidentifiable lock: ignore, do not false-positive
+	}
+	switch name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		sc.sum.direct = append(sc.sum.direct, lockAcq{lock: lock, pos: call.Pos()})
+		for h, hpos := range sc.held {
+			if h == lock {
+				continue
+			}
+			sc.sum.edges = append(sc.sum.edges, lockEdge{
+				from: h, to: lock, fromPos: hpos, toPos: call.Pos(),
+			})
+		}
+		sc.held[lock] = call.Pos()
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(sc.held, lock)
+		}
+	}
+	return true
+}
+
+// expr records outgoing calls made under held locks, without descending into
+// function literals.
+func (sc *lockScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sc.lockOp(n, false) {
+				return false
+			}
+			if len(sc.held) == 0 {
+				return true
+			}
+			if f := calleeFunc(sc.pkg.Info, n); f != nil {
+				sc.sum.calls = append(sc.sum.calls, heldCall{
+					callee: funcKey(f), held: sc.heldSnapshot(), pos: n.Pos(),
+				})
+			}
+		}
+		return true
+	})
+}

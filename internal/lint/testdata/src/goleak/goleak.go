@@ -1,0 +1,84 @@
+// Golden case for the goleak analyzer: a goroutine whose summary-expanded
+// body reaches a bare `for {}` with no termination edge (return, break,
+// goto, select, channel receive, range over a channel) leaks on shutdown.
+// Loops with any exit edge, counted loops, and range loops are clean.
+package goleak
+
+func spin() {
+	for {
+	}
+}
+
+// Positive: the launched function itself loops forever.
+func launchDirect() {
+	go spin() // want:goleak: goroutine has no termination edge
+}
+
+func helper() {
+	spin2()
+}
+
+func spin2() {
+	for {
+	}
+}
+
+// Positive, transitive: the literal only reaches the exitless loop through
+// two call edges; the witness is the chain.
+func launchTransitive() {
+	go func() { // want:goleak: spin2 loops forever
+		helper()
+	}()
+}
+
+// Suppressed: a deliberate busy spinner, excused with a written reason.
+func launchSuppressed() {
+	//lint:ignore goleak golden suppressed case: dedicated spin thread, process lifetime is its lifetime
+	go spin()
+}
+
+// Negative: a select in the loop is a termination edge.
+func okSelect(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// Negative: a conditioned loop exits through its condition.
+func okCounted(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+	}()
+}
+
+// Negative: a channel receive in the loop is a termination edge.
+func okReceive(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			work(v)
+		}
+	}()
+}
+
+// Negative: range over a channel ends when the channel closes.
+func okRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+func work(int) {}

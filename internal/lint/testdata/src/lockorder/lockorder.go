@@ -1,0 +1,125 @@
+// Golden case for the lockorder analyzer: cycles in the module-wide
+// may-hold-while-acquiring relation are potential deadlocks. The AB/BA pair
+// may be in one function pair (intraprocedural edges), or hidden behind
+// calls (interprocedural edges via summaries); consistent ordering and
+// sharded same-identity locking stay clean.
+package lockorder
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+type sys struct {
+	a alpha
+	b beta
+}
+
+// The classic seeded deadlock: lockAB holds alpha while taking beta,
+// lockBA holds beta while taking alpha.
+func (s *sys) lockAB() {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want:lockorder: lock-order cycle (potential deadlock)
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func (s *sys) lockBA() {
+	s.b.mu.Lock()
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+type sys2 struct {
+	c gamma
+	d delta
+}
+
+// The same bug, interprocedural: the second lock of each pair is acquired
+// by a callee, so the edge only exists through the call-graph summaries.
+func (s *sys2) takeC() {
+	s.c.mu.Lock()
+	s.lockD()
+	s.c.mu.Unlock()
+}
+
+func (s *sys2) lockD() {
+	s.d.mu.Lock()
+	s.d.mu.Unlock()
+}
+
+func (s *sys2) takeD() {
+	s.d.mu.Lock()
+	// The cycle is anchored at its lexicographically smallest lock
+	// (delta.mu), so the canonical report lands on this edge.
+	s.lockC() // want:lockorder: delta.mu → lockorder.gamma.mu → lockorder.delta.mu
+	s.d.mu.Unlock()
+}
+
+func (s *sys2) lockC() {
+	s.c.mu.Lock()
+	s.c.mu.Unlock()
+}
+
+type eps struct{ mu sync.Mutex }
+type zeta struct{ mu sync.Mutex }
+
+type sys3 struct {
+	e eps
+	z zeta
+}
+
+// Suppressed case: the same shape, excused with a written reason.
+func (s *sys3) lockEZ() {
+	s.e.mu.Lock()
+	//lint:ignore lockorder golden suppressed case: both orders are gated by a state machine the analyzer cannot see
+	s.z.mu.Lock()
+	s.z.mu.Unlock()
+	s.e.mu.Unlock()
+}
+
+func (s *sys3) lockZE() {
+	s.z.mu.Lock()
+	s.e.mu.Lock()
+	s.e.mu.Unlock()
+	s.z.mu.Unlock()
+}
+
+// Negative: consistent ordering everywhere is clean.
+func (s *sys) ordered1() {
+	s.a.mu.Lock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func (s *sys) ordered2() {
+	s.a.mu.Lock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+type shard struct{ mu sync.Mutex }
+
+// Negative: two instances of one type are the same structural identity;
+// ordered sharded locking must not self-report.
+func both(x, y *shard) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Negative: an early unlock releases the hold before the second acquire —
+// no edge, in either order.
+func (s *sys3) handoffEZ() {
+	s.e.mu.Lock()
+	s.e.mu.Unlock()
+	s.z.mu.Lock()
+	s.z.mu.Unlock()
+}
