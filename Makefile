@@ -5,6 +5,7 @@
 #   make race    — race-check the concurrency-critical packages
 #   make crashsoak — kill-and-restart soak of the durable journaled service
 #   make clustersoak — node-kill soak of the shard router + standby failover
+#   make blackbox — clustersoak + black-box/merged-trace assertions
 #   make sdcsoak — silent-data-corruption storm against selective replication
 #   make bench-service — record the service throughput baseline
 #   make bench-replica — record the replication overhead-vs-coverage baseline
@@ -13,9 +14,9 @@
 
 GO ?= go
 
-.PHONY: ci build test vet lint lint-json race build386 soak crashsoak clustersoak sdcsoak fuzz bench-service bench-replica benchobs benchsched
+.PHONY: ci build test vet lint lint-json race build386 soak crashsoak clustersoak blackbox sdcsoak fuzz bench-service bench-replica benchobs benchsched
 
-ci: build test vet lint lint-json race build386 sdcsoak clustersoak benchsched
+ci: build test vet lint lint-json race build386 sdcsoak clustersoak blackbox benchsched
 
 # Tier-1 gate (ROADMAP.md): must stay green on every PR.
 build:
@@ -79,6 +80,16 @@ clustersoak:
 	$(GO) run ./cmd/ftsoak -cluster -crashjobs 12 -seed 1
 	$(GO) run ./cmd/ftsoak -cluster -crashjobs 12 -seed 2
 
+# Black-box gate (part of ci): the cluster soak with the observability
+# layer held to the same standard as the digests — every SIGKILLed child
+# must leave a parseable flight-recorder box whose job-submit events
+# reconcile with the router's placements and failover metrics, and one
+# kill-to-reroute job's merged cluster trace (/debug/cluster-trace/{id})
+# must span the router plus >= 2 backend processes under one trace ID with
+# the failover-resubmit span parented to the original submit span.
+blackbox:
+	$(GO) run ./cmd/ftsoak -cluster -blackbox -crashjobs 12 -seed 3
+
 # SDC detection gate (part of ci): storm selective-replication jobs with
 # silent corruptions planted on covered tasks (bounded seeds so the run is
 # reproducible) and fail unless every injection is detected by its replica
@@ -106,8 +117,11 @@ bench-replica:
 
 # Observability-overhead gate (BENCH_metrics.json): the disabled
 # instrumentation hot path — one nil check per site — must stay under
-# 2 ns/op and allocation-free, or the target fails. Timing-based, so it is
-# not part of `ci`; run it when touching internal/metrics or call sites.
+# 2 ns/op and allocation-free, or the target fails. The same gate covers
+# disabled tracing: a nil job-event log (trace_capacity: 0), nil span
+# recorder, and nil flight recorder together must clear the same budget.
+# Timing-based, so it is not part of `ci`; run it when touching
+# internal/metrics, internal/trace, or call sites.
 benchobs:
 	$(GO) run ./cmd/ftmetrics -max-disabled-ns 2.0 -out BENCH_metrics.json
 

@@ -103,10 +103,7 @@ func main() {
 		fmt.Printf("saved fault plan to %s\n", *savePlan)
 	}
 
-	var log *trace.Log
-	if *traceCap > 0 {
-		log = trace.New(*traceCap)
-	}
+	log := trace.New(*traceCap) // nil (tracing off) when the capacity is < 1
 	cfg := core.Config{Workers: *p, Retention: a.Retention(), Plan: plan, Timeout: *timeout, Trace: log}
 	var res *core.Result
 	switch *executor {

@@ -2,7 +2,10 @@
 // benchmarks the instrumentation hot path in both states — registry absent
 // (every production default) and registry attached — and fails the build if
 // the disabled path costs more than the budget, so instrumentation can never
-// quietly tax runs that don't ask for it.
+// quietly tax runs that don't ask for it. The same gate covers the tracing
+// family: a disabled job-event log (trace_capacity: 0), a disabled span
+// recorder, and a disabled flight recorder are all one inlined nil check,
+// held to the same budget.
 //
 // The measured loop is the exact pattern every runtime call site uses: a
 // bundle of instrument pointers that is nil when metrics are off, guarded by
@@ -25,6 +28,7 @@ import (
 	"time"
 
 	"ftdag/internal/metrics"
+	"ftdag/internal/trace"
 )
 
 // instruments mirrors the runtime bundles (core.Instruments, the sched and
@@ -57,6 +61,20 @@ func hotPath(b *testing.B, in *instruments) {
 	}
 }
 
+// tracingHotPath is the disabled-tracing pattern every call site uses: a
+// nil *trace.Log (the trace_capacity: 0 contract), a nil *trace.Spans
+// (distributed tracing off), and a nil *trace.Flight (no black box). Each
+// Emit must reduce to one inlined nil check with the argument construction
+// dead-code-eliminated.
+func tracingHotPath(b *testing.B, log *trace.Log, sp *trace.Spans, f *trace.Flight) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		log.Emit(trace.ComputeStart, int64(i), 0, 0)
+		sp.Emit(trace.Span{Name: "compute", Job: 1, Task: int64(i)})
+		f.Emit("compute", "bench", 1, int64(i), 0, trace.SpanContext{})
+	}
+}
+
 type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -85,25 +103,44 @@ func main() {
 
 	disabled := run(func(b *testing.B) { hotPath(b, newInstruments(nil)) })
 	enabled := run(func(b *testing.B) { hotPath(b, newInstruments(metrics.NewRegistry())) })
+	// trace.New(0), trace.NewSpans(_, 0), trace.NewFlight(_, 0) all return
+	// nil by contract — the production default when tracing is off.
+	tracingOff := run(func(b *testing.B) {
+		tracingHotPath(b, trace.New(0), trace.NewSpans("bench", 0), trace.NewFlight("bench", 0))
+	})
+	// The enabled side is informational (recorded for EXPERIMENTS.md, not
+	// gated): live rings at the daemons' default capacities, no disk.
+	tracingOn := run(func(b *testing.B) {
+		tracingHotPath(b, trace.New(8192), trace.NewSpans("bench", 8192), trace.NewFlight("bench", 4096))
+	})
 
 	report := struct {
-		Timestamp     string  `json:"timestamp"`
-		Disabled      result  `json:"disabled"`
-		Enabled       result  `json:"enabled"`
-		MaxDisabledNs float64 `json:"max_disabled_ns"`
-		Pass          bool    `json:"pass"`
+		Timestamp       string  `json:"timestamp"`
+		Disabled        result  `json:"disabled"`
+		Enabled         result  `json:"enabled"`
+		TracingDisabled result  `json:"tracing_disabled"`
+		TracingEnabled  result  `json:"tracing_enabled"`
+		MaxDisabledNs   float64 `json:"max_disabled_ns"`
+		Pass            bool    `json:"pass"`
 	}{
-		Timestamp:     time.Now().UTC().Format(time.RFC3339),
-		Disabled:      disabled,
-		Enabled:       enabled,
-		MaxDisabledNs: *maxDisabled,
-		Pass:          disabled.NsPerOp <= *maxDisabled && disabled.AllocsPerOp == 0,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		Disabled:        disabled,
+		Enabled:         enabled,
+		TracingDisabled: tracingOff,
+		TracingEnabled:  tracingOn,
+		MaxDisabledNs:   *maxDisabled,
+		Pass: disabled.NsPerOp <= *maxDisabled && disabled.AllocsPerOp == 0 &&
+			tracingOff.NsPerOp <= *maxDisabled && tracingOff.AllocsPerOp == 0,
 	}
 
 	fmt.Printf("disabled hot path: %.3f ns/op (%d allocs/op, n=%d)\n",
 		disabled.NsPerOp, disabled.AllocsPerOp, disabled.N)
 	fmt.Printf("enabled hot path:  %.3f ns/op (%d allocs/op, n=%d)\n",
 		enabled.NsPerOp, enabled.AllocsPerOp, enabled.N)
+	fmt.Printf("disabled tracing (log+spans+flight): %.3f ns/op (%d allocs/op, n=%d)\n",
+		tracingOff.NsPerOp, tracingOff.AllocsPerOp, tracingOff.N)
+	fmt.Printf("enabled tracing (log+spans+flight):  %.3f ns/op (%d allocs/op, n=%d)\n",
+		tracingOn.NsPerOp, tracingOn.AllocsPerOp, tracingOn.N)
 
 	if *out != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")

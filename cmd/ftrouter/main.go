@@ -11,9 +11,16 @@
 // Endpoints mirror ftserve's jobs vocabulary (POST /jobs, GET /jobs,
 // GET /jobs/{id}, POST /jobs/{id}/cancel, GET /healthz, GET /metrics)
 // plus POST /drain/{name} to migrate a named backend's shard away for
-// maintenance. Submissions may pin their shard with an X-Shard-Key
-// header; otherwise the request body is the key, so identical requests
-// route identically from any router instance.
+// maintenance, GET /debug/backends (ring + health + per-backend
+// placement), and GET /debug/cluster-trace/{id} — one merged
+// Perfetto-compatible trace assembled from the router's spans plus every
+// backend's /debug/spans. Submissions may pin their shard with an
+// X-Shard-Key header; otherwise the request body is the key, so identical
+// requests route identically from any router instance.
+//
+// With -debug-addr a second listener serves net/http/pprof (profiles,
+// goroutine dumps) without exposing them on the public address — the same
+// debug parity ftserve has.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (the -debug-addr listener)
 	"os"
 	"os/signal"
 	"strings"
@@ -30,6 +38,7 @@ import (
 
 	"ftdag/internal/cluster"
 	"ftdag/internal/metrics"
+	"ftdag/internal/trace"
 )
 
 func main() {
@@ -40,8 +49,28 @@ func main() {
 		interval  = flag.Duration("health-interval", time.Second, "backend health-check period")
 		threshold = flag.Int("fail-threshold", 3, "consecutive health failures before failover")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request backend timeout")
+		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
+		procName  = flag.String("proc-name", "", "process label for spans and the black box (empty: derived from -addr)")
+		spansCap  = flag.Int("spans", 8192, "span ring capacity for cluster-wide tracing (0: tracing off)")
+		flightCap = flag.Int("flight", 4096, "flight-recorder ring capacity; persisted under -data-dir/blackbox (0: off)")
+		dataDir   = flag.String("data-dir", "", "directory for the router's black box (empty: recorder off)")
 	)
 	flag.Parse()
+
+	proc := *procName
+	if proc == "" {
+		proc = "ftrouter-" + strings.Trim(strings.ReplaceAll(*addr, ":", "-"), "-")
+	}
+	tracer := trace.NewSpans(proc, *spansCap)
+	var flight *trace.Flight
+	if *dataDir != "" {
+		flight = trace.NewFlight(proc, *flightCap)
+		if err := flight.Persist(*dataDir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "ftrouter: %v\n", err)
+			os.Exit(1)
+		}
+		tracer.Mirror(flight)
+	}
 
 	reg := metrics.NewRegistry()
 	rt := cluster.NewRouter(cluster.RouterConfig{
@@ -50,6 +79,8 @@ func main() {
 		Vnodes:         *vnodes,
 		HealthInterval: *interval,
 		FailThreshold:  *threshold,
+		Tracer:         tracer,
+		Flight:         flight,
 	})
 	started := time.Now()
 	reg.GaugeFunc("ftdag_uptime_seconds", "Seconds since the router started.",
@@ -65,6 +96,16 @@ func main() {
 		os.Exit(1)
 	}
 	rt.Start()
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("ftrouter: pprof debug server on %s", *debugAddr)
+			// nil handler = DefaultServeMux, which net/http/pprof
+			// populated at import.
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("ftrouter: debug server: %v", err)
+			}
+		}()
+	}
 	log.Printf("ftrouter: routing across %d backend(s) on %s (health every %v, failover after %d misses)",
 		n, *addr, *interval, *threshold)
 
@@ -85,6 +126,9 @@ func main() {
 	}
 	cancel()
 	rt.Stop()
+	if err := flight.Close("sigterm"); err != nil {
+		log.Printf("ftrouter: final black box: %v", err)
+	}
 }
 
 // addBackends parses "name=url,name=url" and registers each entry.

@@ -27,6 +27,8 @@
 //	                        scheduler stats, aggregated recovery totals)
 //	GET  /debug/jobs        live per-job progress with derived throughput
 //	GET  /debug/trace/{id}  alias of /jobs/{id}/trace
+//	GET  /debug/spans       the process's distributed-tracing spans
+//	                        (?trace=<32 hex> filters to one trace)
 //	GET  /healthz           liveness: uptime, worker count, journal status
 //
 // With -debug-addr a second listener serves net/http/pprof (profiles,
@@ -70,6 +72,7 @@ import (
 	"ftdag/internal/journal"
 	"ftdag/internal/metrics"
 	"ftdag/internal/service"
+	"ftdag/internal/trace"
 )
 
 func main() {
@@ -81,6 +84,9 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "journal directory for durable jobs (empty: in-memory only)")
 		debugAddr = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty: disabled)")
 		grace     = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+		procName  = flag.String("proc-name", "", "process label for spans and the black box (empty: derived from -addr)")
+		spansCap  = flag.Int("spans", 8192, "process-wide span ring capacity for distributed tracing (0: tracing off)")
+		flightCap = flag.Int("flight", 4096, "flight-recorder ring capacity; persisted under <data-dir>/blackbox (0: off)")
 		load      = flag.Int("load", 0, "load-generator mode: drive N jobs in-process and exit")
 		loadSize  = flag.String("loadsize", "quick", "load-mode problem sizes: quick or bench")
 		benchOut  = flag.String("benchout", "BENCH_service.json", "load-mode results file (empty: stdout only)")
@@ -97,6 +103,7 @@ func main() {
 	}
 
 	var jr *journal.Journal
+	torn, incomplete := false, 0
 	if *dataDir != "" {
 		var err error
 		jr, err = journal.Open(journal.Options{Dir: *dataDir})
@@ -105,7 +112,7 @@ func main() {
 			os.Exit(1)
 		}
 		st := jr.State()
-		terminal, incomplete := 0, 0
+		terminal := 0
 		for _, js := range st.Jobs {
 			if js.Terminal() {
 				terminal++
@@ -114,6 +121,7 @@ func main() {
 			}
 		}
 		if n, truncated := jr.Truncated(); truncated {
+			torn = true
 			log.Printf("ftserve: recovered journal with a torn tail (%d bytes dropped)", n)
 		}
 		log.Printf("ftserve: journal %s replayed: %d finished job(s) restored, %d incomplete job(s) to re-run",
@@ -122,10 +130,45 @@ func main() {
 		cfg.Rebuild = rebuildJob
 	}
 
+	// Distributed tracing (span ring) and the black-box flight recorder.
+	// The recorder is write-behind: a SIGKILL leaves a parseable box at
+	// most one flush interval stale; panic, SIGTERM, and replay-after-crash
+	// snapshot immediately with the reason recorded.
+	proc := *procName
+	if proc == "" {
+		proc = "ftserve-" + strings.Trim(strings.ReplaceAll(*addr, ":", "-"), "-")
+	}
+	tracer := trace.NewSpans(proc, *spansCap)
+	var flight *trace.Flight
+	if *dataDir != "" {
+		flight = trace.NewFlight(proc, *flightCap)
+		if err := flight.Persist(*dataDir, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
+			os.Exit(1)
+		}
+		tracer.Mirror(flight)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			flight.Emit("panic", fmt.Sprint(r), -1, -1, 0, trace.SpanContext{})
+			_, _ = flight.Snapshot("panic")
+			panic(r)
+		}
+	}()
+
 	reg := metrics.NewRegistry()
 	cfg.Registry = reg
+	cfg.Tracer = tracer
+	cfg.Flight = flight
 	srv := service.New(cfg)
-	d := &daemon{srv: srv, jr: jr, reg: reg, started: time.Now(), drainGrace: *grace}
+	if torn || incomplete > 0 {
+		// The previous incarnation died uncleanly; the replay itself is
+		// crash evidence worth boxing before new work dilutes the ring.
+		if p, err := flight.Snapshot("replay-after-crash"); err == nil && p != "" {
+			log.Printf("ftserve: crash replay boxed at %s", p)
+		}
+	}
+	d := &daemon{srv: srv, jr: jr, reg: reg, tracer: tracer, started: time.Now(), drainGrace: *grace}
 	reg.GaugeFunc("ftdag_uptime_seconds", "Seconds since the daemon started.",
 		func() float64 { return time.Since(d.started).Seconds() })
 	mux := d.newMux()
@@ -163,6 +206,9 @@ func main() {
 	}
 	cancel()
 	stats := srv.Shutdown(*grace)
+	if err := flight.Close("sigterm"); err != nil {
+		log.Printf("ftserve: final black box: %v", err)
+	}
 	log.Printf("ftserve: drained; pool stats: %v", stats)
 }
 
@@ -171,6 +217,7 @@ type daemon struct {
 	srv        *service.Server
 	jr         *journal.Journal // nil without -data-dir
 	reg        *metrics.Registry
+	tracer     *trace.Spans // nil with -spans 0 (tracing off)
 	started    time.Time
 	drainGrace time.Duration // default /drain grace (the -grace flag)
 }
@@ -195,6 +242,9 @@ func (d *daemon) newMux() *http.ServeMux {
 	// via /drain. Both handlers are shared with the cluster test backends.
 	mux.HandleFunc("GET /journal/stream", cluster.StreamHandler(d.jr))
 	mux.HandleFunc("POST /drain", cluster.DrainHandler(d.srv, d.drainGrace))
+	// The process's distributed-tracing spans (?trace= filters to one
+	// trace) — what a router's /debug/cluster-trace merge polls.
+	mux.HandleFunc("GET /debug/spans", cluster.SpansHandler(d.tracer))
 	return mux
 }
 
@@ -390,6 +440,12 @@ func (d *daemon) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	// An FT-Trace header (shard router, failover resubmission, or a traced
+	// client) parents this job's spans into the caller's trace. Malformed
+	// headers are ignored: tracing is diagnostic, never load-bearing.
+	if ctx, err := trace.ParseHeader(r.Header.Get(trace.HeaderName)); err == nil && ctx.Valid() {
+		spec.Span = ctx
 	}
 	if d.jr != nil {
 		// Persist the canonical (re-marshaled) request as the job's

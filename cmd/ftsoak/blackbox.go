@@ -1,0 +1,182 @@
+// Black-box audit for the cluster soak's -blackbox mode: after the
+// kill-to-reroute story has played out and every job has converged, the
+// parent collects the flight-recorder boxes its children left behind and
+// holds the observability layer to the same exactness standard as the
+// digests — a box that cannot be parsed, a placement the victim's box
+// never recorded, or a merged trace missing a process is a FAILURE, not a
+// logging curiosity.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ftdag/internal/trace"
+)
+
+// boxAudit carries the -blackbox assertion inputs.
+type boxAudit struct {
+	nodes      []*clusterNode
+	victim     *clusterNode
+	victimJobs []string // job names the router placed on the victim
+	routerURL  string
+	client     *http.Client
+
+	routerSpans *trace.Spans // the in-process router's span ring
+	routerBox   string       // path of the router's own black box
+	rerouted    int          // ftrouter_rerouted_jobs_total at audit time
+
+	// Victim jobs the promoted standby will replay (router IDs + names);
+	// the merged-trace probe is picked from the ones that were also
+	// rerouted to a survivor, so the trace provably crosses processes.
+	replayedIDs   []int64
+	replayedNames []string
+
+	fatalf func(string, ...any)
+}
+
+// auditBlackBoxes runs the assertions and returns (backend process count
+// in the merged trace, probe job name) for the PASS line.
+func auditBlackBoxes(a boxAudit) (int, string) {
+	// 1. Every child — including the SIGKILLed victim, whose box is the
+	// point of the exercise — left a parseable black box. The victim's
+	// survives because persistence is write-behind: the ring was flushed
+	// to disk while the process was still alive.
+	boxes := make(map[string]*trace.BlackBox, len(a.nodes))
+	for _, n := range a.nodes {
+		path := trace.BoxPath(n.dir, n.name)
+		box, err := trace.ReadBlackBox(path)
+		if err != nil {
+			a.fatalf("black box of %s: %v", n.name, err)
+		}
+		if len(box.Events) == 0 {
+			a.fatalf("black box of %s is empty", n.name)
+		}
+		boxes[n.name] = box
+	}
+
+	// 2. The victim's box reconciles with the router's placements: every
+	// job the router recorded as accepted by the victim must appear as a
+	// job-submit event in the box the victim left behind.
+	submitted := make(map[string]bool)
+	for _, e := range boxes[a.victim.name].Events {
+		if e.Kind == "job-submit" {
+			submitted[e.Name] = true
+		}
+	}
+	for _, name := range a.victimJobs {
+		if !submitted[name] {
+			a.fatalf("victim %s acknowledged %s (router placement) but its black box has no job-submit event for it", a.victim.name, name)
+		}
+	}
+
+	// 3. The router's own box and span ring reconcile with its failover
+	// metrics: one backend-dead event for the victim, and exactly
+	// ftrouter_rerouted_jobs_total failover-resubmit records in each.
+	rbox, err := trace.ReadBlackBox(a.routerBox)
+	if err != nil {
+		a.fatalf("router black box: %v", err)
+	}
+	dead, resubmits := 0, 0
+	for _, e := range rbox.Events {
+		switch e.Kind {
+		case "backend-dead":
+			if e.Name == a.victim.name {
+				dead++
+			}
+		case "failover-resubmit":
+			resubmits++
+		}
+	}
+	if dead != 1 {
+		a.fatalf("router black box has %d backend-dead events for %s, want 1", dead, a.victim.name)
+	}
+	if resubmits != a.rerouted {
+		a.fatalf("router black box has %d failover-resubmit events, ftrouter_rerouted_jobs_total says %d", resubmits, a.rerouted)
+	}
+	reroutedJob := make(map[int64]bool)
+	spanResubmits := 0
+	for _, sp := range a.routerSpans.Snapshot() {
+		if sp.Name == "failover-resubmit" {
+			spanResubmits++
+			reroutedJob[sp.Job] = true
+		}
+	}
+	if spanResubmits != a.rerouted {
+		a.fatalf("router span ring has %d failover-resubmit spans, ftrouter_rerouted_jobs_total says %d", spanResubmits, a.rerouted)
+	}
+
+	// 4. The merged cluster trace of one kill-to-reroute job. The probe
+	// is a victim job that was both rerouted to a survivor and replayed
+	// by the promoted standby, so its one trace must hold spans from the
+	// router plus at least two backend processes.
+	probeID, probeName := int64(0), ""
+	for i, id := range a.replayedIDs {
+		if reroutedJob[id] {
+			probeID, probeName = id, a.replayedNames[i]
+			break
+		}
+	}
+	if probeName == "" {
+		a.fatalf("no victim job was both rerouted and standby-replayed (%d replayed, %d rerouted) — the kill landed too late to probe the merged trace", len(a.replayedIDs), a.rerouted)
+	}
+	resp, err := a.client.Get(fmt.Sprintf("%s/debug/cluster-trace/%d", a.routerURL, probeID))
+	if err != nil {
+		a.fatalf("fetching merged trace of job %d: %v", probeID, err)
+	}
+	var m trace.MergedTrace
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	_ = resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		a.fatalf("merged trace of job %d: status %d, decode err %v", probeID, resp.StatusCode, err)
+	}
+	if len(m.Spans) == 0 || len(m.TraceEvents) == 0 || len(m.CriticalPath) == 0 {
+		a.fatalf("merged trace of job %d is empty (%d spans, %d events, %d critical-path spans)",
+			probeID, len(m.Spans), len(m.TraceEvents), len(m.CriticalPath))
+	}
+	tid := m.Spans[0].Trace
+	procs := make(map[string]bool)
+	var submitSpan, resubmitSpan *trace.Span
+	for i := range m.Spans {
+		sp := &m.Spans[i]
+		if sp.Trace != tid {
+			a.fatalf("merged trace of job %d mixes trace IDs: %s and %s", probeID, tid, sp.Trace)
+		}
+		procs[sp.Proc] = true
+		if sp.Job == probeID && sp.Name == "cluster-submit" {
+			submitSpan = sp
+		}
+		if sp.Job == probeID && sp.Name == "failover-resubmit" && resubmitSpan == nil {
+			resubmitSpan = sp
+		}
+	}
+	if !procs["router"] {
+		a.fatalf("merged trace of job %d has no router spans (procs %v)", probeID, procKeys(procs))
+	}
+	backends := 0
+	for p := range procs {
+		if p != "router" {
+			backends++
+		}
+	}
+	if backends < 2 {
+		a.fatalf("merged trace of job %d spans %d backend process(es), want >= 2 (procs %v)", probeID, backends, procKeys(procs))
+	}
+	if submitSpan == nil || resubmitSpan == nil {
+		a.fatalf("merged trace of job %d is missing the cluster-submit or failover-resubmit span", probeID)
+	}
+	if resubmitSpan.Parent != submitSpan.ID {
+		a.fatalf("failover-resubmit span of job %d parents to %s, want the original cluster-submit span %s",
+			probeID, resubmitSpan.Parent, submitSpan.ID)
+	}
+	return backends, probeName
+}
+
+func procKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"ftdag/internal/journal"
 	"ftdag/internal/metrics"
 	"ftdag/internal/service"
+	"ftdag/internal/trace"
 )
 
 // runClusterChild is one backend of the soak cluster: a journaled service
@@ -44,19 +45,46 @@ func runClusterChild(dataDir string, workers int, timeout time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("opening journal: %w", err)
 	}
+	// Every child flies with the black box on: the span ring mirrors into
+	// the flight ring, the flusher persists it under <dataDir>/blackbox
+	// every 20ms, and a SIGKILL — the soak's weapon — leaves a parseable
+	// box at most one flush behind for the parent to collect.
+	name := filepath.Base(dataDir)
+	tracer := trace.NewSpans(name, 8192)
+	flight := trace.NewFlight(name, 4096)
+	if err := flight.Persist(dataDir, 20*time.Millisecond); err != nil {
+		return err
+	}
+	tracer.Mirror(flight)
+	incomplete := 0
+	for _, js := range jr.State().Jobs {
+		if !js.Terminal() {
+			incomplete++
+		}
+	}
 	srv := service.New(service.Config{
 		Workers:           workers,
 		MaxConcurrentJobs: 2,
 		MaxQueuedJobs:     256,
 		Journal:           jr,
 		Rebuild:           crashRebuild(timeout),
+		Tracer:            tracer,
+		Flight:            flight,
 	})
+	if incomplete > 0 {
+		// Replaying another incarnation's unfinished jobs is crash
+		// evidence; box it before new work dilutes the ring.
+		if _, err := flight.Snapshot("replay-after-crash"); err != nil {
+			fmt.Fprintf(os.Stderr, "clusterchild: boxing crash replay: %v\n", err)
+		}
+	}
 	node := cluster.NewNode(cluster.NodeConfig{
-		Name:       filepath.Base(dataDir),
+		Name:       name,
 		Service:    srv,
 		Journal:    jr,
 		Build:      crashRebuild(timeout),
 		DrainGrace: 2 * time.Second,
+		Tracer:     tracer,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -93,8 +121,14 @@ func (l *lockedBuf) String() string {
 	return l.b.String()
 }
 
-// runClusterSoak is the parent orchestrator.
-func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbose bool) {
+// runClusterSoak is the parent orchestrator. With blackbox, the soak also
+// asserts the observability layer: every SIGKILLed child leaves a
+// parseable black box whose job-submit events reconcile with the router's
+// placements and failover metrics, and one kill-to-reroute job's merged
+// cluster trace (GET /debug/cluster-trace/{id}) holds spans from the
+// router plus at least two backend processes under one trace ID, with the
+// failover-resubmit span parented to the original cluster-submit span.
+func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbose, blackbox bool) {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftsoak: locating executable: %v\n", err)
@@ -125,6 +159,12 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 	for i := range jobs {
 		jobs[i].Points = "compute"
 		jobs[i].DelayMS = 30
+		if blackbox {
+			// Stretch per-task delay so the SIGKILL reliably lands with
+			// victim jobs still in flight — the merged-trace assertion
+			// needs at least one rerouted AND standby-replayed job.
+			jobs[i].DelayMS = 60
+		}
 		res, err := core.NewSequential(jobs[i].graph(), 0).Run()
 		if err != nil {
 			fatalf("sequential reference %s: %v", jobs[i].name(), err)
@@ -187,11 +227,19 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 	// registry directly at the end.
 	client := &http.Client{Timeout: 10 * time.Second}
 	reg := metrics.NewRegistry()
+	routerSpans := trace.NewSpans("router", 8192)
+	routerFlight := trace.NewFlight("router", 2048)
+	if err := routerFlight.Persist(root, 20*time.Millisecond); err != nil {
+		fatalf("router black box: %v", err)
+	}
+	routerSpans.Mirror(routerFlight)
 	rt := cluster.NewRouter(cluster.RouterConfig{
 		Client:         client,
 		Registry:       reg,
 		HealthInterval: 25 * time.Millisecond,
 		FailThreshold:  2,
+		Tracer:         routerSpans,
+		Flight:         routerFlight,
 	})
 	for _, n := range nodes {
 		if err := rt.AddBackend(n.name, n.url); err != nil {
@@ -278,6 +326,14 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 		clean++
 	}
 
+	if blackbox {
+		// Give the children's write-behind flushers (20ms interval) a few
+		// ticks so every submission-time event is on disk: the
+		// box-vs-placement reconciliation tolerates losing only the final
+		// flush window, which this sleep moves past the submissions.
+		time.Sleep(150 * time.Millisecond)
+	}
+
 	// SIGKILL the victim mid-storm; the health loop must declare it dead
 	// and re-route its incomplete jobs to the survivors.
 	killedAt := time.Now()
@@ -314,6 +370,7 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 		standbyByName[js.Name] = js
 	}
 	replayed := 0
+	var replayedJobs []placed // victim jobs the standby will re-run
 	for _, p := range placements {
 		if p.backend != victim.name {
 			continue
@@ -327,6 +384,7 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 		}
 		if !js.Terminal() {
 			replayed++
+			replayedJobs = append(replayedJobs, p)
 		}
 	}
 	if err := promoted.Close(); err != nil {
@@ -435,6 +493,39 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 		fatalf("ftrouter_saturated_total = %v, want 0 (queues were sized for the storm)", v)
 	}
 
+	// Black-box audit: collect every child's flight-recorder box, hold the
+	// victim's to the router's placements and failover metrics, and probe
+	// one kill-to-reroute job's merged cluster trace. Runs while backends
+	// and router are still up (the merge polls /debug/spans live).
+	backendProcs, probeName := 0, ""
+	if blackbox {
+		var rIDs []int64
+		var rNames []string
+		for _, p := range replayedJobs {
+			rIDs = append(rIDs, p.id)
+			rNames = append(rNames, p.name)
+		}
+		var victimNames []string
+		for _, p := range placements {
+			if p.backend == victim.name {
+				victimNames = append(victimNames, p.name)
+			}
+		}
+		backendProcs, probeName = auditBlackBoxes(boxAudit{
+			nodes:         nodes,
+			victim:        victim,
+			victimJobs:    victimNames,
+			routerURL:     routerURL,
+			client:        client,
+			routerSpans:   routerSpans,
+			routerBox:     trace.BoxPath(root, "router"),
+			rerouted:      int(rerouted),
+			replayedIDs:   rIDs,
+			replayedNames: rNames,
+			fatalf:        fatalf,
+		})
+	}
+
 	rt.Stop()
 	_ = ln.Close()
 	for _, n := range nodes {
@@ -443,4 +534,8 @@ func runClusterSoak(seed int64, njobs, workers int, timeout time.Duration, verbo
 	os.RemoveAll(root)
 	fmt.Printf("ftsoak: PASS (cluster) — %d jobs across 3 backends (%d KiB WAL mirrored); killed %s holding %d jobs, failover in %dms, %d rerouted to survivors, %d replayed by the promoted standby; every digest matches its sequential reference\n",
 		njobs, mirrored>>10, victim.name, perBackend[victim.name], failoverMS, int(rerouted), replayed)
+	if blackbox {
+		fmt.Printf("ftsoak: PASS (blackbox) — every SIGKILLed child left a parseable black box reconciling with the router's placements and failover metrics; job %s's merged trace spans the router + %d backend processes under one trace ID with failover-resubmit parented to the original submit\n",
+			probeName, backendProcs)
+	}
 }

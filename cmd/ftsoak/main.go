@@ -56,6 +56,7 @@ func main() {
 		crash      = flag.Bool("crash", false, "kill-and-restart soak of the journaled service (spawns child processes)")
 		cycles     = flag.Int("cycles", 8, "SIGKILL cycles in -crash mode before letting a run finish (a clean finish ends the loop early)")
 		clusterM   = flag.Bool("cluster", false, "node-kill soak of the shard layer: 3 backends, router, standby failover (spawns child processes)")
+		blackbox   = flag.Bool("blackbox", false, "with -cluster: assert every SIGKILLed child leaves a parseable black box and the merged cluster trace spans router + >= 2 backends")
 		sdc        = flag.Bool("sdc", false, "storm selective-replication jobs with silent data corruptions and require exact detection accounting")
 		sdcIters   = flag.Int("sdciters", 24, "jobs to run in -sdc mode")
 		crashJobs  = flag.Int("crashjobs", 12, "total jobs the crash/cluster soak must complete")
@@ -84,7 +85,7 @@ func main() {
 		return
 	}
 	if *clusterM {
-		runClusterSoak(*seed, *crashJobs, *maxWorkers, *timeout, *verbose)
+		runClusterSoak(*seed, *crashJobs, *maxWorkers, *timeout, *verbose, *blackbox)
 		return
 	}
 	if *sdc {

@@ -18,6 +18,7 @@ import (
 
 	"ftdag/internal/journal"
 	"ftdag/internal/service"
+	"ftdag/internal/trace"
 )
 
 const (
@@ -153,6 +154,10 @@ type NodeConfig struct {
 	// DrainGrace is the default /drain grace when the request carries no
 	// grace_ms parameter.
 	DrainGrace time.Duration
+	// Tracer, when non-nil, is served at GET /debug/spans so the router
+	// can assemble cluster-wide traces. It should be the same recorder the
+	// Service's Config.Tracer points at.
+	Tracer *trace.Spans
 }
 
 // Node serves the subset of the ftserve API a Router needs — submit,
@@ -177,6 +182,7 @@ func (n *Node) Mux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", n.healthz)
 	mux.HandleFunc("GET /journal/stream", StreamHandler(n.cfg.Journal))
 	mux.HandleFunc("POST /drain", DrainHandler(n.cfg.Service, n.cfg.DrainGrace))
+	mux.HandleFunc("GET /debug/spans", SpansHandler(n.cfg.Tracer))
 	return mux
 }
 
@@ -190,6 +196,12 @@ func (n *Node) submit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	// An FT-Trace header (router submission or failover resubmission)
+	// parents this job's spans into the caller's trace. A malformed
+	// header is ignored — tracing is diagnostic, never load-bearing.
+	if ctx, err := trace.ParseHeader(r.Header.Get(trace.HeaderName)); err == nil && ctx.Valid() {
+		spec.Span = ctx
 	}
 	if n.cfg.Journal != nil {
 		spec.Payload = body
@@ -230,6 +242,31 @@ func (n *Node) cancel(w http.ResponseWriter, r *http.Request) {
 	if h, ok := n.job(w, r); ok {
 		h.Cancel()
 		writeJSON(w, http.StatusOK, h.Status())
+	}
+}
+
+// SpansHandler serves GET /debug/spans: the process's retained spans as a
+// JSON array, oldest first. ?trace=<32 hex> filters to one trace — the
+// form the router's /debug/cluster-trace merge polls. A nil recorder
+// (tracing off) serves an empty list, not an error, so the router's merge
+// loop needs no special case for untraced backends.
+func SpansHandler(sp *trace.Spans) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var out []trace.Span
+		if v := r.URL.Query().Get("trace"); v != "" {
+			tid, err := trace.ParseTraceID(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			out = sp.ForTrace(tid)
+		} else {
+			out = sp.Snapshot()
+		}
+		if out == nil {
+			out = []trace.Span{}
+		}
+		writeJSON(w, http.StatusOK, out)
 	}
 }
 

@@ -54,6 +54,9 @@ func NewRing(vnodes int) *Ring {
 	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
 }
 
+// Vnodes returns the per-member virtual-node count.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(s)) // fnv never errors

@@ -26,6 +26,7 @@ import (
 
 	"ftdag/internal/metrics"
 	"ftdag/internal/service"
+	"ftdag/internal/trace"
 )
 
 // RouterConfig configures a shard router.
@@ -44,6 +45,13 @@ type RouterConfig struct {
 	// FailThreshold is the consecutive health-check failures that declare
 	// a backend dead and trigger failover (<= 0: 3).
 	FailThreshold int
+	// Tracer, when non-nil, records the router's spans and mints the span
+	// contexts that ride the FT-Trace header to backends. Nil turns
+	// cluster tracing off at zero cost.
+	Tracer *trace.Spans
+	// Flight, when non-nil, receives the router's black-box events
+	// (submissions, failovers, reroutes). Nil disables the recorder.
+	Flight *trace.Flight
 }
 
 // routedJob is the router's record of one submission: enough identity to
@@ -56,6 +64,11 @@ type routedJob struct {
 	backend  string // current owner ("" while orphaned awaiting a survivor)
 	remoteID int64
 	terminal *RoutedStatus // cached final status; authoritative once set
+	// span is the cluster-submit span context minted at first acceptance.
+	// Every later failover-resubmit or drain-migrate span parents to it,
+	// so however many times the job moves, the trace stays rooted at the
+	// original submission.
+	span trace.SpanContext
 }
 
 // backendState tracks one registered backend.
@@ -82,6 +95,8 @@ type RoutedStatus struct {
 type Router struct {
 	client   *http.Client
 	reg      *metrics.Registry
+	tracer   *trace.Spans
+	flight   *trace.Flight
 	interval time.Duration
 	failMax  int
 
@@ -120,6 +135,8 @@ func NewRouter(cfg RouterConfig) *Router {
 	rt := &Router{
 		client:   client,
 		reg:      cfg.Registry,
+		tracer:   cfg.Tracer,
+		flight:   cfg.Flight,
 		interval: cfg.HealthInterval,
 		failMax:  cfg.FailThreshold,
 		ring:     NewRing(cfg.Vnodes),
@@ -201,6 +218,8 @@ func (rt *Router) Mux() *http.ServeMux {
 	mux.HandleFunc("POST /jobs/{id}/cancel", rt.cancel)
 	mux.HandleFunc("GET /healthz", rt.healthz)
 	mux.HandleFunc("POST /drain/{name}", rt.drainBackend)
+	mux.HandleFunc("GET /debug/backends", rt.debugBackends)
+	mux.HandleFunc("GET /debug/cluster-trace/{id}", rt.clusterTrace)
 	if rt.reg != nil {
 		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", metrics.TextContentType)
@@ -251,6 +270,28 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Mint the cluster-submit span context here — before the backend POST
+	// — so the FT-Trace header carries it and the backend's own submit
+	// span parents to the router's. A client that already opened a trace
+	// (FT-Trace on the inbound request) stays the root; otherwise the
+	// router is the first process to see the submission and mints the
+	// trace ID.
+	var ctx trace.SpanContext
+	var clientSpan trace.SpanID
+	//lint:ignore detrand span timestamps are wall-clock by design: spans from different processes must merge on one timeline; they never influence placement
+	start := time.Now()
+	if tr := rt.tracer; tr != nil {
+		parent, err := trace.ParseHeader(r.Header.Get(trace.HeaderName))
+		if err != nil {
+			log.Printf("ftrouter: ignoring malformed %s header: %v", trace.HeaderName, err)
+		}
+		if !parent.Valid() {
+			parent = trace.SpanContext{Trace: trace.NewTraceID()}
+		}
+		clientSpan = parent.Span
+		ctx = trace.SpanContext{Trace: parent.Trace, Span: tr.NextID()}
+	}
+
 	// Walk the shard's candidate list: the home backend first, then the
 	// deterministic ring successors on backpressure (429/503) — the
 	// spillover path. Hard transport errors skip the backend and let the
@@ -258,7 +299,7 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 	worst := 0
 	var retryAfter int
 	for i, b := range cands {
-		st, resp, ra, err := rt.postJob(b, body)
+		st, resp, ra, err := rt.postJob(b, body, ctx)
 		if err != nil {
 			log.Printf("ftrouter: submit to %s: %v", b.name, err)
 			worst = http.StatusServiceUnavailable
@@ -270,7 +311,17 @@ func (rt *Router) submit(w http.ResponseWriter, r *http.Request) {
 				rt.spillover.Inc()
 			}
 			b.routed.Inc()
-			rs := rt.recordJob(key, body, b.name, st)
+			rs := rt.recordJob(key, body, b.name, st, ctx)
+			if ctx.Valid() {
+				rt.tracer.Emit(trace.Span{
+					Trace: ctx.Trace, ID: ctx.Span, Parent: clientSpan,
+					Name: "cluster-submit", Note: b.name,
+					//lint:ignore detrand span timestamps are wall-clock by design: spans from different processes must merge on one timeline; they never influence placement
+					Start: start.UnixMicro(), Dur: time.Since(start).Microseconds(),
+					Job: rs.ID, Task: -1, Arg: int64(i),
+				})
+				rt.flight.Emit("cluster-submit", b.name, rs.ID, -1, int64(i), ctx)
+			}
 			writeJSON(w, http.StatusAccepted, rs)
 			return
 		case resp == http.StatusTooManyRequests || resp == http.StatusServiceUnavailable:
@@ -310,9 +361,18 @@ func (rt *Router) rejectSaturated(w http.ResponseWriter, retryAfter, code int) {
 }
 
 // postJob submits body to b, returning the decoded status (or error
-// body), HTTP code, and any Retry-After hint in seconds.
-func (rt *Router) postJob(b *backendState, body []byte) (map[string]any, int, int, error) {
-	resp, err := rt.client.Post(b.url+"/jobs", "application/json", bytes.NewReader(body))
+// body), HTTP code, and any Retry-After hint in seconds. A valid ctx
+// rides the FT-Trace header so the backend's spans join the same trace.
+func (rt *Router) postJob(b *backendState, body []byte, ctx trace.SpanContext) (map[string]any, int, int, error) {
+	req, err := http.NewRequest(http.MethodPost, b.url+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ctx.Valid() {
+		req.Header.Set(trace.HeaderName, ctx.Header())
+	}
+	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -326,7 +386,7 @@ func (rt *Router) postJob(b *backendState, body []byte) (map[string]any, int, in
 }
 
 // recordJob mints the router-side identity for an accepted submission.
-func (rt *Router) recordJob(key string, body []byte, backend string, accepted map[string]any) RoutedStatus {
+func (rt *Router) recordJob(key string, body []byte, backend string, accepted map[string]any, ctx trace.SpanContext) RoutedStatus {
 	remoteID := int64(0)
 	if v, ok := accepted["id"].(float64); ok {
 		remoteID = int64(v)
@@ -334,7 +394,7 @@ func (rt *Router) recordJob(key string, body []byte, backend string, accepted ma
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.nextID++
-	j := &routedJob{id: rt.nextID, key: key, body: body, backend: backend, remoteID: remoteID}
+	j := &routedJob{id: rt.nextID, key: key, body: body, backend: backend, remoteID: remoteID, span: ctx}
 	rt.jobs[j.id] = j
 	rt.order = append(rt.order, j.id)
 	return RoutedStatus{
@@ -594,8 +654,9 @@ func (rt *Router) failBackend(name string) {
 	}
 	rt.mu.Unlock()
 	rt.failovers.Inc()
+	rt.flight.Emit("backend-dead", name, -1, -1, int64(len(orphans)), trace.SpanContext{})
 	log.Printf("ftrouter: backend %s declared dead; re-routing %d incomplete job(s)", name, len(orphans))
-	rt.rerouteJobs(orphans)
+	rt.rerouteJobs(orphans, "failover-resubmit")
 	rt.failoverH.ObserveSince(start)
 }
 
@@ -603,14 +664,25 @@ func (rt *Router) failBackend(name string) {
 // is deterministic given the same survivor set) to each job's first live
 // candidate. A job with no live candidate stays orphaned; a later
 // AddBackend or the next failover pass can pick it up via Reroute.
-func (rt *Router) rerouteJobs(orphans []*routedJob) {
+// spanName labels the movement span ("failover-resubmit" or
+// "drain-migrate"); each movement gets a fresh span ID but parents to
+// the job's original cluster-submit span, so the trace stays one tree
+// however many times the job moves.
+func (rt *Router) rerouteJobs(orphans []*routedJob, spanName string) {
 	for _, j := range orphans {
 		rt.mu.Lock()
 		cands := rt.candidatesFor(j.key)
+		origin := j.span
 		rt.mu.Unlock()
+		var ctx trace.SpanContext
+		if tr := rt.tracer; tr != nil && origin.Valid() {
+			ctx = trace.SpanContext{Trace: origin.Trace, Span: tr.NextID()}
+		}
 		moved := false
 		for _, b := range cands {
-			st, code, _, err := rt.postJob(b, j.body)
+			//lint:ignore detrand span timestamps are wall-clock by design: spans from different processes must merge on one timeline; they never influence placement
+			start := time.Now()
+			st, code, _, err := rt.postJob(b, j.body, ctx)
 			if err != nil || code != http.StatusAccepted {
 				continue
 			}
@@ -624,6 +696,16 @@ func (rt *Router) rerouteJobs(orphans []*routedJob) {
 			rt.mu.Unlock()
 			b.routed.Inc()
 			rt.rerouted.Inc()
+			if ctx.Valid() {
+				rt.tracer.Emit(trace.Span{
+					Trace: ctx.Trace, ID: ctx.Span, Parent: origin.Span,
+					Name: spanName, Note: b.name,
+					//lint:ignore detrand span timestamps are wall-clock by design: spans from different processes must merge on one timeline; they never influence placement
+					Start: start.UnixMicro(), Dur: time.Since(start).Microseconds(),
+					Job: j.id, Task: -1,
+				})
+				rt.flight.Emit(spanName, b.name, j.id, -1, 0, ctx)
+			}
 			moved = true
 			break
 		}
@@ -648,7 +730,7 @@ func (rt *Router) Reroute() int {
 		}
 	}
 	rt.mu.Unlock()
-	rt.rerouteJobs(orphans)
+	rt.rerouteJobs(orphans, "failover-resubmit")
 	n := 0
 	rt.mu.Lock()
 	for _, j := range orphans {
@@ -711,11 +793,136 @@ func (rt *Router) drainBackend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.mu.Unlock()
-	rt.rerouteJobs(migrate)
+	rt.flight.Emit("drain-start", name, -1, -1, int64(len(migrate)), trace.SpanContext{})
+	rt.rerouteJobs(migrate, "drain-migrate")
 
 	writeJSON(w, http.StatusOK, struct {
 		Backend   string `json:"backend"`
 		Completed int    `json:"completed"`
 		Migrated  int    `json:"migrated"`
 	}{name, dr.Completed, len(migrate)})
+}
+
+// BackendDebug is one backend's row in GET /debug/backends.
+type BackendDebug struct {
+	Name        string `json:"name"`
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	Draining    bool   `json:"draining"`
+	ConsecFails int    `json:"consec_fails"`
+	OnRing      bool   `json:"on_ring"`
+	Jobs        int    `json:"jobs"`     // router jobs currently owned
+	Terminal    int    `json:"terminal"` // of those, finished (cached)
+}
+
+// debugBackends serves GET /debug/backends: the ring's shape plus every
+// registered backend's health-loop state and router-side job placement —
+// the operator's first stop when a shard looks wedged.
+func (rt *Router) debugBackends(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	ringMembers := rt.ring.Members()
+	vnodes := rt.ring.Vnodes()
+	onRing := make(map[string]bool, len(ringMembers))
+	for _, m := range ringMembers {
+		onRing[m] = true
+	}
+	owned := make(map[string]int)
+	terminal := make(map[string]int)
+	orphaned := 0
+	for _, j := range rt.jobs {
+		if j.backend == "" {
+			orphaned++
+			continue
+		}
+		owned[j.backend]++
+		if j.terminal != nil {
+			terminal[j.backend]++
+		}
+	}
+	names := make([]string, 0, len(rt.backends))
+	for name := range rt.backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]BackendDebug, 0, len(names))
+	for _, name := range names {
+		b := rt.backends[name]
+		rows = append(rows, BackendDebug{
+			Name: b.name, URL: b.url, Healthy: b.healthy, Draining: b.draining,
+			ConsecFails: b.consecFails, OnRing: onRing[name],
+			Jobs: owned[name], Terminal: terminal[name],
+		})
+	}
+	jobs := len(rt.jobs)
+	rt.mu.Unlock()
+	sort.Strings(ringMembers)
+	writeJSON(w, http.StatusOK, struct {
+		Vnodes      int            `json:"vnodes"`
+		RingMembers []string       `json:"ring_members"`
+		Jobs        int            `json:"jobs"`
+		Orphaned    int            `json:"orphaned"`
+		Backends    []BackendDebug `json:"backends"`
+	}{vnodes, ringMembers, jobs, orphaned, rows})
+}
+
+// clusterTrace serves GET /debug/cluster-trace/{id}: one merged
+// Perfetto-compatible document for a trace, assembled from the router's
+// own spans plus GET /debug/spans?trace= from every registered backend.
+// {id} is either a router job ID (decimal) or a raw 32-hex trace ID.
+// Backends that are unreachable, answer non-200, or return bodies that do
+// not decode as a span list are skipped — a dead or hostile backend must
+// never make the survivors' trace unreadable.
+func (rt *Router) clusterTrace(w http.ResponseWriter, r *http.Request) {
+	idStr := r.PathValue("id")
+	var tid trace.TraceID
+	if jobID, err := strconv.ParseInt(idStr, 10, 64); err == nil {
+		rt.mu.Lock()
+		j := rt.jobs[jobID]
+		if j != nil {
+			tid = j.span.Trace
+		}
+		rt.mu.Unlock()
+		if j == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", jobID))
+			return
+		}
+		if tid.IsZero() {
+			httpError(w, http.StatusNotFound, fmt.Errorf("job %d has no trace (tracing disabled at submission?)", jobID))
+			return
+		}
+	} else if t, perr := trace.ParseTraceID(idStr); perr == nil {
+		tid = t
+	} else {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("id %q: want a router job id or 32-hex trace id", idStr))
+		return
+	}
+
+	sets := [][]trace.Span{rt.tracer.ForTrace(tid)}
+	type endpoint struct{ name, url string }
+	rt.mu.Lock()
+	eps := make([]endpoint, 0, len(rt.backends))
+	for name, b := range rt.backends {
+		if b.url != "" {
+			eps = append(eps, endpoint{name, b.url})
+		}
+	}
+	rt.mu.Unlock()
+	// Deterministic poll order; every registered backend is asked, even
+	// unhealthy ones — a drained or flapping node may still hold spans.
+	sort.Slice(eps, func(i, j int) bool { return eps[i].name < eps[j].name })
+	for _, ep := range eps {
+		resp, err := rt.client.Get(ep.url + "/debug/spans?trace=" + tid.String())
+		if err != nil {
+			continue // dead backend: its spans (if any) are lost to the box
+		}
+		var spans []trace.Span
+		if resp.StatusCode == http.StatusOK && decodeJSON(resp.Body, &spans) == nil {
+			sets = append(sets, spans)
+		}
+		_ = resp.Body.Close()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.MergeSpans(sets...).WriteJSON(w); err != nil {
+		log.Printf("ftrouter: writing merged trace: %v", err)
+	}
 }

@@ -45,6 +45,17 @@ type Config struct {
 	// Trace, when non-nil, records the executor's event stream
 	// (computes, faults, recoveries, resets) for post-mortem analysis.
 	Trace *trace.Log
+	// Spans, when non-nil, is the process-wide distributed-trace recorder:
+	// the executor emits compute, fault-injection, recovery, and
+	// replica-digest-join spans into it under SpanCtx's trace, so one
+	// cluster trace links what every process did to a job. Nil disables
+	// span emission at a cost of one pointer check per site.
+	Spans *trace.Spans
+	// SpanCtx positions this run in a distributed trace: executor spans
+	// parent to SpanCtx.Span (typically the service's job-run span).
+	SpanCtx trace.SpanContext
+	// SpanJob is the service-assigned job ID stamped on executor spans.
+	SpanJob int64
 	// Instruments, when non-nil, is the shared metrics bundle
 	// (NewInstruments) this run aggregates into. Nil disables metric
 	// collection at a cost of one pointer check per instrumentation site.
@@ -163,6 +174,10 @@ func (e *FT) RunOn(pool *sched.Pool) (*Result, error) {
 	start := time.Now()
 	g := pool.NewGroup()
 	e.group = g
+	if e.cfg.Spans != nil && e.cfg.SpanCtx.Valid() {
+		// Steals of this run's tasks appear in its distributed trace.
+		g.SetSpan(e.cfg.SpanCtx, e.cfg.SpanJob)
+	}
 	sink, _ := e.insertIfAbsent(e.spec.Sink())
 	g.Submit(func(w *sched.Worker) { e.initAndCompute(w, sink) })
 	if e.cfg.Cancel != nil {
@@ -388,6 +403,11 @@ func (e *FT) runCompute(w *sched.Worker, t *Task, capture map[graph.Key][]float6
 		ins.TasksComputed.Inc()
 		computeStart = time.Now()
 	}
+	sp := e.cfg.Spans
+	var spanStart time.Time
+	if sp != nil {
+		spanStart = time.Now()
+	}
 	ctx := &ftCtx{e: e, t: t, capture: capture}
 	if err := e.spec.Compute(ctx, t.key); err != nil {
 		e.met.computeErrors.Add(1)
@@ -395,15 +415,38 @@ func (e *FT) runCompute(w *sched.Worker, t *Task, capture map[graph.Key][]float6
 			ins.ComputeLatency.ObserveSince(computeStart)
 			ins.ComputeErrors.Inc()
 		}
+		if sp != nil {
+			e.emitSpan("compute", spanStart, time.Since(spanStart), t.key, t.life, 1)
+		}
 		return nil, err
 	}
 	if ins != nil {
 		ins.ComputeLatency.ObserveSince(computeStart)
 	}
+	if sp != nil {
+		e.emitSpan("compute", spanStart, time.Since(spanStart), t.key, t.life, 0)
+	}
 	if !ctx.wrote {
 		panic(fmt.Sprintf("core: task %d computed without writing its output", t.key))
 	}
 	return ctx.out, nil
+}
+
+// emitSpan records one executor span (compute, inject, recover,
+// replica-join) under the run's distributed-trace context. Callers guard
+// with a Config.Spans nil check so disabled tracing costs one branch.
+func (e *FT) emitSpan(name string, start time.Time, dur time.Duration, key graph.Key, life int, arg int64) {
+	e.cfg.Spans.Emit(trace.Span{
+		Trace:  e.cfg.SpanCtx.Trace,
+		Parent: e.cfg.SpanCtx.Span,
+		Name:   name,
+		Start:  start.UnixMicro(),
+		Dur:    dur.Microseconds(),
+		Job:    e.cfg.SpanJob,
+		Task:   int64(key),
+		Life:   life,
+		Arg:    arg,
+	})
 }
 
 // notifyBatchSize is how many successors one spawned drain job notifies.
@@ -495,6 +538,9 @@ func (e *FT) catchComputeError(w *sched.Worker, t *Task, err error) {
 // block version the incarnation has written).
 func (e *FT) inject(t *Task, withBlock bool) {
 	e.cfg.Trace.Emit(trace.Inject, t.key, t.life, boolArg(withBlock))
+	if e.cfg.Spans != nil {
+		e.emitSpan("inject", time.Now(), 0, t.key, t.life, boolArg(withBlock))
+	}
 	t.poisoned.Store(true)
 	if withBlock {
 		ref := e.spec.Output(t.key)
@@ -553,8 +599,9 @@ func (e *FT) recoverTask(w *sched.Worker, key graph.Key) {
 		}
 		e.cfg.Trace.Emit(trace.RecoverStart, key, t.life, 0)
 		ins := e.cfg.Instruments
+		sp := e.cfg.Spans
 		var recStart time.Time
-		if ins != nil {
+		if ins != nil || sp != nil {
 			recStart = time.Now()
 		}
 		err := func() error { // try
@@ -572,6 +619,9 @@ func (e *FT) recoverTask(w *sched.Worker, key graph.Key) {
 		}()
 		if ins != nil {
 			ins.RecoveryLatency.ObserveSince(recStart)
+		}
+		if sp != nil {
+			e.emitSpan("recover", recStart, time.Since(recStart), key, t.life, 0)
 		}
 		if err == nil {
 			return

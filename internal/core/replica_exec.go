@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
@@ -168,6 +169,12 @@ func (e *FT) resolveReplicas(w *sched.Worker, t *Task, rj *replicaJoin) {
 		return // the primary's catch already dispatched recovery
 	}
 	ins := e.cfg.Instruments
+	if e.cfg.Spans != nil {
+		// The replica digest join, as a trace span: Arg 1 when the digests
+		// disagreed (an SDC was caught), 0 on agreement.
+		e.emitSpan("replica-join", time.Now(), 0, t.key, t.life,
+			boolArg(rj.primaryDigest != rj.shadowDigest && !rj.shadowFailed.Load()))
+	}
 	err := func() error { // try
 		if rj.shadowFailed.Load() {
 			e.met.shadowFailures.Add(1)

@@ -78,6 +78,19 @@ func (h *Harness) csvTable2(rows []Table2Row) error {
 		[]string{"app", "type", "injected", "avg", "min", "p50", "p95", "p99", "max", "std"}, out)
 }
 
+// csvCriticalPath exports the Table II critical-path addendum.
+func (h *Harness) csvCriticalPath(rows []CriticalPathRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, itoa(r.Spans), itoa(r.Recoveries), itoa(r.PathLen),
+			strconv.FormatInt(r.PathUS, 10), strconv.FormatInt(r.RunUS, 10), r.Tail,
+		}
+	}
+	return h.writeCSV("critical_path",
+		[]string{"app", "spans", "recoveries", "path_spans", "path_us", "run_us", "tail"}, out)
+}
+
 // csvFig7 exports Figure 7 rows.
 func (h *Harness) csvFig7(rows []Fig7Row) error {
 	out := make([][]string, len(rows))

@@ -7,6 +7,7 @@ import (
 
 	"ftdag/internal/fault"
 	"ftdag/internal/stats"
+	"ftdag/internal/trace"
 )
 
 // Table1 prints the benchmark configuration table (paper Table I): problem
@@ -228,6 +229,83 @@ func (h *Harness) Table2() ([]Table2Row, error) {
 			fmt.Fprintf(w, "%s\t%v\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
 				name, ty, count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max, s.Std)
 		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	cp, err := h.CriticalPaths()
+	if err != nil {
+		return nil, err
+	}
+	return rows, h.csvCriticalPath(cp)
+}
+
+// CriticalPathRow is one app's span-walk critical-path summary.
+type CriticalPathRow struct {
+	App        string
+	Spans      int   // spans retained by the run's recorder
+	Recoveries int   // recover spans among them
+	PathLen    int   // spans on the critical path (incl. the run root)
+	PathUS     int64 // summed duration of the path's spans
+	RunUS      int64 // wall-clock duration of the whole run
+	Tail       string
+}
+
+// CriticalPaths runs one traced v=rand after-notify execution per app and
+// walks span parent links back from the latest-finishing executor span —
+// the same extractor the router applies to merged cluster traces in
+// /debug/cluster-trace/{id}. It is reported next to Table II because the
+// tail of that chain names the operation (almost always a recovery or a
+// cascaded recompute) that determined when the faulted run finished, the
+// causal view of the re-execution counts the table quantifies.
+func (h *Harness) CriticalPaths() ([]CriticalPathRow, error) {
+	fmt.Fprintln(h.opts.Out, "-- critical path: span walk over one traced v=rand run per app --")
+	w := tabwriter.NewWriter(h.opts.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tspans\trecoveries\tpath\tpath_ms\trun_ms\ttail span")
+	var rows []CriticalPathRow
+	for _, name := range AppNames {
+		count := h.ScaledCount(name, 512)
+		plan := fault.PlanCount(h.App(name).Spec(), fault.VRand, fault.AfterNotify, count, h.opts.Seed)
+		// The ring comfortably holds every span of a bench-sized run;
+		// if a larger size wraps it, the walk still works because only
+		// the most recent spans can sit on the path's tail.
+		sp := trace.NewSpans("harness", 1<<16)
+		ctx := trace.SpanContext{Trace: trace.NewTraceID(), Span: sp.NextID()}
+		//lint:ignore detrand span timings are observability output only; they never enter a result digest
+		start := time.Now()
+		if _, err := h.RunFTTraced(name, h.opts.Workers, plan, sp, ctx); err != nil {
+			return nil, err
+		}
+		//lint:ignore detrand span timings are observability output only; they never enter a result digest
+		run := time.Since(start)
+		spans := sp.ForTrace(ctx.Trace)
+		recoveries := 0
+		for _, s := range spans {
+			if s.Name == "recover" {
+				recoveries++
+			}
+		}
+		// Walk the executor spans first, then prepend the run root (which
+		// every executor span parents to). Walking with the root included
+		// would start at the root itself — it finishes last by definition.
+		path := trace.CriticalPath(spans)
+		path = append([]trace.Span{{
+			Trace: ctx.Trace, ID: ctx.Span, Name: "ft-run", Proc: "harness", Note: name,
+			Start: start.UnixMicro(), Dur: run.Microseconds(), Job: -1, Task: -1,
+		}}, path...)
+		var pathUS int64
+		for _, s := range path[1:] {
+			pathUS += s.Dur
+		}
+		tail := path[len(path)-1]
+		tailDesc := fmt.Sprintf("%s(task %d, life %d)", tail.Name, tail.Task, tail.Life)
+		rows = append(rows, CriticalPathRow{
+			App: name, Spans: len(spans), Recoveries: recoveries,
+			PathLen: len(path), PathUS: pathUS, RunUS: run.Microseconds(), Tail: tailDesc,
+		})
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.2f\t%.2f\t%s\n",
+			name, len(spans), recoveries, len(path), float64(pathUS)/1e3,
+			float64(run.Microseconds())/1e3, tailDesc)
 	}
 	return rows, w.Flush()
 }

@@ -30,6 +30,7 @@ import (
 	"ftdag/internal/fault"
 	"ftdag/internal/graph"
 	"ftdag/internal/replica"
+	"ftdag/internal/trace"
 )
 
 // AppNames is the fixed presentation order used by the paper's tables.
@@ -214,6 +215,28 @@ func (h *Harness) RunFT(name string, workers int, plan *fault.Plan, verify bool)
 		if err := a.VerifySink(res.Sink); err != nil {
 			return nil, fmt.Errorf("%s (P=%d): %w", name, workers, err)
 		}
+	}
+	return res, nil
+}
+
+// RunFTTraced executes the named app once under the FT scheduler with
+// executor spans (compute, inject, recover) recorded into sp under ctx —
+// the run's root span, which the caller emits once the run's duration is
+// known. Used by the Table II critical-path report.
+func (h *Harness) RunFTTraced(name string, workers int, plan *fault.Plan, sp *trace.Spans, ctx trace.SpanContext) (*core.Result, error) {
+	a := h.App(name)
+	restore := gomaxprocs(workers)
+	defer restore()
+	res, err := core.NewFT(a.Spec(), core.Config{
+		Workers:   workers,
+		Retention: a.Retention(),
+		Plan:      plan,
+		Spans:     sp,
+		SpanCtx:   ctx,
+		SpanJob:   -1,
+	}).Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s traced (P=%d): %w", name, workers, err)
 	}
 	return res, nil
 }

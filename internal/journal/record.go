@@ -98,6 +98,11 @@ type Record struct {
 	// replayed job re-runs under the strategy it was submitted with.
 	Recovery      string  `json:"recovery,omitempty"`
 	ReplicaBudget float64 `json:"replica_budget,omitempty"`
+	// Trace is the job's span context in FT-Trace wire form
+	// ("<32 hex trace>-<16 hex span>"), persisted so replay after a crash
+	// and failover resubmission continue the original distributed trace
+	// instead of starting a new one.
+	Trace string `json:"trace,omitempty"`
 
 	// Failed / Cancelled fields.
 	Error string `json:"error,omitempty"`

@@ -18,6 +18,9 @@ type JobState struct {
 	// restarts (see Record).
 	Recovery      string  `json:"recovery,omitempty"`
 	ReplicaBudget float64 `json:"replica_budget,omitempty"`
+	// Trace carries the job's distributed span context across restarts
+	// (see Record.Trace).
+	Trace string `json:"trace,omitempty"`
 	// State is the kind of the job's latest lifecycle record. Submitted
 	// and Started mean the job is incomplete and must be re-run after a
 	// restart.
@@ -80,6 +83,7 @@ func (st *State) apply(rec *Record) {
 		js.Plan = rec.Plan
 		js.Recovery = rec.Recovery
 		js.ReplicaBudget = rec.ReplicaBudget
+		js.Trace = rec.Trace
 		js.SubmittedAt = rec.Time
 	case Started:
 		js.State = Started

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ftdag/internal/trace"
 )
 
 // Group tracks one logical job's work on a shared Pool: a subset of the
@@ -25,8 +27,24 @@ type Group struct {
 	pending atomic.Int64
 	aborted atomic.Bool
 
+	// span/spanJob position the group's work in a distributed trace (set
+	// once via SetSpan before any Submit; read by workers after a deque
+	// transfer, which orders the writes). Steal events are emitted under
+	// this context so cross-worker migration of a job's tasks is visible
+	// in the job's cluster trace.
+	span    trace.SpanContext
+	spanJob int64
+
 	mu   sync.Mutex
 	cond *sync.Cond
+}
+
+// SetSpan attaches a distributed-trace context (and the owning job's ID)
+// to the group. Call before submitting work; the pool's span recorder
+// (Pool.ObserveSpans) emits steal spans under it.
+func (g *Group) SetSpan(ctx trace.SpanContext, job int64) {
+	g.span = ctx
+	g.spanJob = job
 }
 
 // NewGroup returns an empty group on the pool. An empty group is quiescent.

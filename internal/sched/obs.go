@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"ftdag/internal/metrics"
+	"ftdag/internal/trace"
 )
 
 // poolObs is the pool's instrument bundle. It is attached after construction
@@ -56,4 +57,16 @@ func (p *Pool) Observe(r *metrics.Registry) {
 		queueWait: r.Histogram("ftdag_queue_wait_seconds", "Wait of externally submitted jobs in the injector queue."),
 	}
 	p.obs.Store(o)
+}
+
+// ObserveSpans attaches a distributed-trace span recorder to the pool:
+// successful steals of jobs whose group carries a span context
+// (Group.SetSpan) are emitted as "steal" spans, so task migration shows
+// up in the owning job's cluster trace. Attached via an atomic pointer
+// like the metrics bundle; a nil recorder (tracing off) costs the steal
+// path nothing — the pointer is only consulted after a successful steal.
+func (p *Pool) ObserveSpans(sp *trace.Spans) {
+	if sp != nil {
+		p.spans.Store(sp)
+	}
 }

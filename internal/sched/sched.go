@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"ftdag/internal/deque"
+	"ftdag/internal/trace"
 )
 
 // Func is a unit of work. It receives the worker executing it so that
@@ -220,7 +221,8 @@ type Pool struct {
 	policy  Policy
 	rr      atomic.Int64 // round-robin cursor for SubmitAvoiding
 
-	obs atomic.Pointer[poolObs] // instrument bundle; nil until Observe
+	obs   atomic.Pointer[poolObs]     // instrument bundle; nil until Observe
+	spans atomic.Pointer[trace.Spans] // steal-span recorder; nil until ObserveSpans
 
 	quiesceMu   sync.Mutex
 	quiesceCond *sync.Cond
@@ -593,6 +595,13 @@ func (w *Worker) findWork() (job, bool) {
 				w.stats.steals.Add(1)
 				if o != nil {
 					o.stealLat.ObserveSince(searchStart)
+				}
+				if sp := p.spans.Load(); sp != nil && j.g != nil && j.g.span.Valid() {
+					sp.Emit(trace.Span{
+						Trace: j.g.span.Trace, Parent: j.g.span.Span,
+						Name: "steal", Start: time.Now().UnixMicro(),
+						Job: j.g.spanJob, Task: -1, Arg: int64(victim.id),
+					})
 				}
 				return j, true
 			}

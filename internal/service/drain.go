@@ -15,6 +15,9 @@ type IncompleteJob struct {
 	Payload       json.RawMessage `json:"payload,omitempty"`
 	Recovery      string          `json:"recovery,omitempty"`
 	ReplicaBudget float64         `json:"replica_budget,omitempty"`
+	// Trace is the job's span context in FT-Trace wire form, so migration
+	// resubmission continues the job's original distributed trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // DrainResult reports a Drain: how many in-flight jobs finished within the
@@ -105,13 +108,18 @@ wait:
 		// A job can win the race and finish normally between the expiry
 		// and the abort; it counts as completed, not incomplete.
 		if j.shutdownAbort && j.state == Cancelled {
-			res.Incomplete = append(res.Incomplete, IncompleteJob{
+			inc := IncompleteJob{
 				ID:            j.id,
 				Name:          j.spec.Name,
 				Payload:       json.RawMessage(j.spec.Payload),
 				Recovery:      string(j.spec.Recovery),
 				ReplicaBudget: j.spec.ReplicaBudget,
-			})
+			}
+			if j.span.Valid() {
+				inc.Trace = j.span.Header()
+			}
+			s.cfg.Flight.Emit("drain-checkpoint", j.spec.Name, j.id, -1, 0, j.span)
+			res.Incomplete = append(res.Incomplete, inc)
 		} else {
 			res.Completed++
 		}

@@ -144,6 +144,10 @@ type JobSpec struct {
 	// without a payload cannot be re-run after a restart and are
 	// restored as Failed.
 	Payload []byte
+	// Span is the distributed-trace position this submission continues
+	// (parsed from the FT-Trace header by the HTTP front ends). Zero means
+	// the job starts a new trace when the server has a Config.Tracer.
+	Span trace.SpanContext
 }
 
 // Config configures a Server.
@@ -180,6 +184,17 @@ type Config struct {
 	// instrument bundles. Nil (the default) disables metric collection —
 	// the hot paths then cost one pointer check per site.
 	Registry *metrics.Registry
+	// Tracer, when non-nil, is the process-wide distributed-trace span
+	// recorder: submissions mint (or continue, via JobSpec.Span) a trace,
+	// and admission, queue wait, execution, and every executor event emit
+	// spans into it. The job's span context is journaled with the
+	// Submitted record so replay continues the trace. Nil disables span
+	// emission — one pointer check per site, same contract as Registry.
+	Tracer *trace.Spans
+	// Flight, when non-nil, is the black-box flight recorder: job
+	// lifecycle transitions are recorded so a crash leaves a causal tail
+	// on disk (see trace.Flight). Nil disables it.
+	Flight *trace.Flight
 }
 
 func (c Config) withDefaults() Config {
@@ -204,7 +219,11 @@ type job struct {
 	spec      JobSpec
 	submitted time.Time
 	trace     *trace.Log
-	cancel    chan struct{}
+	// span is the job's distributed-trace context: the submission's trace
+	// plus the admission span every later span of the job parents to.
+	// Journaled with the Submitted record; restored on replay.
+	span   trace.SpanContext
+	cancel chan struct{}
 	cancelled sync.Once
 	done      chan struct{}
 
@@ -287,6 +306,8 @@ func New(cfg Config) *Server {
 		pool: sched.NewPoolWithPolicy(cfg.Workers, cfg.SchedPolicy),
 		jobs: make(map[int64]*job),
 	}
+	// Steals of any job's tasks land in that job's distributed trace.
+	s.pool.ObserveSpans(cfg.Tracer)
 	var reenq []*job
 	if cfg.Journal != nil {
 		reenq = s.replay(cfg.Journal.State())
@@ -402,9 +423,20 @@ func (s *Server) replay(st *journal.State) []*job {
 			spec.Name = js.Name
 			spec.Payload = js.Payload
 			j.spec = spec
-			if spec.TraceCapacity > 0 {
-				j.trace = trace.New(spec.TraceCapacity)
+			j.trace = trace.New(spec.TraceCapacity)
+			// Re-entering the journaled span context (rather than minting a
+			// fresh trace) is what makes a crash-replayed re-execution show
+			// up in the job's original cluster trace.
+			if ctx, err := trace.ParseHeader(js.Trace); err == nil && ctx.Valid() {
+				j.span = ctx
+				if tr := s.cfg.Tracer; tr != nil {
+					tr.Emit(trace.Span{
+						Trace: ctx.Trace, Parent: ctx.Span, Name: "replay-resume",
+						Start: time.Now().UnixMicro(), Job: id, Task: -1, Note: js.Name,
+					})
+				}
 			}
+			s.cfg.Flight.Emit("replay-resume", js.Name, id, -1, 0, j.span)
 			j.state = Queued
 			reenq = append(reenq, j)
 		}
@@ -528,9 +560,7 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 		done:      make(chan struct{}),
 		state:     Queued,
 	}
-	if spec.TraceCapacity > 0 {
-		j.trace = trace.New(spec.TraceCapacity)
-	}
+	j.trace = trace.New(spec.TraceCapacity)
 	s.nextID++
 	j.id = s.nextID
 	s.jobs[j.id] = j
@@ -540,12 +570,34 @@ func (s *Server) Submit(spec JobSpec) (*Handle, error) {
 	s.mu.Unlock()
 	defer s.submitWG.Done()
 
+	// Mint the job's trace position before the journal write so the
+	// Submitted record carries it: a continuation of the caller's context
+	// (FT-Trace header) when one arrived, a fresh trace otherwise. The
+	// admission span itself is emitted after the fsync below, so its
+	// duration covers the full durable-admission path.
+	if tr := s.cfg.Tracer; tr != nil {
+		parent := spec.Span
+		if !parent.Valid() {
+			parent.Trace = trace.NewTraceID()
+		}
+		j.span = trace.SpanContext{Trace: parent.Trace, Span: tr.NextID()}
+	}
+
 	// Durable before acknowledged: a failed append is a failed Submit —
 	// the job is unregistered and never enqueued.
 	if err := s.journalSubmit(j, spec); err != nil {
 		s.unregister(j)
 		return nil, err
 	}
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.Emit(trace.Span{
+			Trace: j.span.Trace, ID: j.span.Span, Parent: spec.Span.Span,
+			Name: "submit", Note: spec.Name,
+			Start: j.submitted.UnixMicro(), Dur: time.Since(j.submitted).Microseconds(),
+			Job: j.id, Task: -1,
+		})
+	}
+	s.cfg.Flight.Emit("job-submit", spec.Name, j.id, -1, 0, j.span)
 	// Capacity was reserved above, so this cannot block; submitWG keeps
 	// Close/Shutdown from closing the channel underneath the send.
 	s.queue <- j
@@ -567,6 +619,9 @@ func (s *Server) journalSubmit(j *job, spec JobSpec) error {
 	rec := journal.Record{
 		Kind: journal.Submitted, ID: j.id, Name: spec.Name, Payload: spec.Payload,
 		Recovery: string(spec.Recovery), ReplicaBudget: spec.ReplicaBudget,
+	}
+	if j.span.Valid() {
+		rec.Trace = j.span.Header()
 	}
 	if spec.Plan != nil {
 		b, err := json.Marshal(spec.Plan)
@@ -630,6 +685,22 @@ func (s *Server) runJob(j *job) {
 	// incarnation) is benign: journal replay treats it as idempotent.
 	s.journalAppend(journal.Record{Kind: journal.Started, ID: j.id})
 
+	// The queue-wait span spans admission → pickup; for a crash-replayed
+	// job that interval honestly includes the downtime. The job-run span's
+	// ID is minted now so executor spans can parent to it, but the span
+	// itself is emitted after the run with its duration filled in.
+	tr := s.cfg.Tracer
+	var runCtx trace.SpanContext
+	if tr != nil && j.span.Valid() {
+		tr.Emit(trace.Span{
+			Trace: j.span.Trace, Parent: j.span.Span, Name: "queue-wait",
+			Start: j.submitted.UnixMicro(), Dur: j.started.Sub(j.submitted).Microseconds(),
+			Job: j.id, Task: -1,
+		})
+		runCtx = trace.SpanContext{Trace: j.span.Trace, Span: tr.NextID()}
+	}
+	s.cfg.Flight.Emit("job-start", j.spec.Name, j.id, -1, 0, j.span)
+
 	var timer *time.Timer
 	if d := j.spec.Deadline; d > 0 {
 		timer = time.AfterFunc(d, func() {
@@ -647,6 +718,9 @@ func (s *Server) runJob(j *job) {
 		Cancel:          j.cancel,
 		Trace:           j.trace,
 		Instruments:     s.ins,
+		Spans:           tr,
+		SpanCtx:         runCtx,
+		SpanJob:         j.id,
 	})
 	j.mu.Lock()
 	j.exec = exec
@@ -665,6 +739,17 @@ func (s *Server) runJob(j *job) {
 		if verr := j.spec.Verify(res); verr != nil {
 			err = fmt.Errorf("service: verification failed: %w", verr)
 		}
+	}
+	if tr != nil && runCtx.Valid() {
+		var arg int64
+		if err != nil {
+			arg = 1
+		}
+		tr.Emit(trace.Span{
+			Trace: runCtx.Trace, ID: runCtx.Span, Parent: j.span.Span, Name: "job-run",
+			Start: j.started.UnixMicro(), Dur: time.Since(j.started).Microseconds(),
+			Job: j.id, Task: -1, Arg: arg,
+		})
 	}
 	s.finish(j, res, err)
 }
@@ -744,6 +829,7 @@ func (s *Server) finish(j *job, res *core.Result, err error) {
 		return
 	}
 	s.journalAppend(rec)
+	s.cfg.Flight.Emit("job-finish", state.String(), j.id, -1, int64(state), j.span)
 	j.ackDone()
 }
 

@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Flight is the black-box flight recorder: an always-on, bounded,
+// allocation-free ring of structured events that survives the death of
+// its process. Emit writes into preallocated slots under a mutex (no
+// allocation, no I/O); a background flusher snapshots the ring to
+// <dir>/blackbox/<proc>.json every interval via atomic rename, so even a
+// SIGKILL — which no handler can observe — leaves a parseable box at most
+// one flush interval stale. Explicit snapshots (panic, SIGTERM,
+// journal-replay-after-crash) write immediately with the reason recorded.
+//
+// A nil *Flight discards everything: the disabled path is one inlined nil
+// check, the same contract as the nil metrics registry and nil *Spans.
+type Flight struct {
+	proc string
+
+	mu    sync.Mutex
+	buf   []FlightEvent
+	seq   uint64
+	dirty bool
+
+	dir  string // blackbox directory; "" until Persist
+	stop chan struct{}
+	done chan struct{}
+}
+
+// FlightEvent is one recorded occurrence. Fields are fixed-size or
+// pre-existing strings so Emit never allocates.
+type FlightEvent struct {
+	Seq    uint64  `json:"seq"`
+	WhenUS int64   `json:"when_us"` // unix microseconds
+	Kind   string  `json:"kind"`
+	Name   string  `json:"name,omitempty"`
+	Job    int64   `json:"job,omitempty"`
+	Task   int64   `json:"task,omitempty"`
+	Arg    int64   `json:"arg,omitempty"`
+	Trace  TraceID `json:"trace"`
+	Span   SpanID  `json:"span,omitempty"`
+}
+
+// BlackBox is the on-disk snapshot format.
+type BlackBox struct {
+	Proc    string        `json:"proc"`
+	PID     int           `json:"pid"`
+	Reason  string        `json:"reason"`
+	WhenUS  int64         `json:"when_us"`
+	Seq     uint64        `json:"seq"`     // total events emitted
+	Dropped uint64        `json:"dropped"` // events lost to ring overwrite
+	Events  []FlightEvent `json:"events"`  // retained events, oldest first
+}
+
+// NewFlight returns a recorder labelled with the process name, retaining
+// the most recent capacity events. Capacity < 1 disables the recorder
+// (returns nil).
+func NewFlight(proc string, capacity int) *Flight {
+	if capacity < 1 {
+		return nil
+	}
+	return &Flight{proc: proc, buf: make([]FlightEvent, 0, capacity)}
+}
+
+// Emit records an event. Safe for concurrent use; allocation-free; no-op
+// on a nil recorder.
+func (f *Flight) Emit(kind, name string, job, task, arg int64, ctx SpanContext) {
+	if f == nil {
+		return
+	}
+	f.emit(kind, name, job, task, arg, ctx)
+}
+
+func (f *Flight) emit(kind, name string, job, task, arg int64, ctx SpanContext) {
+	when := time.Now().UnixMicro()
+	f.mu.Lock()
+	e := FlightEvent{Seq: f.seq, WhenUS: when, Kind: kind, Name: name,
+		Job: job, Task: task, Arg: arg, Trace: ctx.Trace, Span: ctx.Span}
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else {
+		f.buf[f.seq%uint64(cap(f.buf))] = e
+	}
+	f.seq++
+	f.dirty = true
+	f.mu.Unlock()
+}
+
+// snapshot copies the retained events (oldest first) under the lock and
+// clears the dirty flag; everything slow happens outside the lock.
+func (f *Flight) snapshot(reason string) BlackBox {
+	f.mu.Lock()
+	events := make([]FlightEvent, 0, len(f.buf))
+	if len(f.buf) < cap(f.buf) {
+		events = append(events, f.buf...)
+	} else {
+		head := int(f.seq % uint64(cap(f.buf)))
+		events = append(events, f.buf[head:]...)
+		events = append(events, f.buf[:head]...)
+	}
+	seq := f.seq
+	f.dirty = false
+	f.mu.Unlock()
+	return BlackBox{
+		Proc:    f.proc,
+		PID:     os.Getpid(),
+		Reason:  reason,
+		WhenUS:  time.Now().UnixMicro(),
+		Seq:     seq,
+		Dropped: seq - uint64(len(events)),
+		Events:  events,
+	}
+}
+
+// BoxPath returns the black-box file a process named proc persists under
+// dataDir (shared vocabulary for writers and collectors like ftsoak).
+func BoxPath(dataDir, proc string) string {
+	return filepath.Join(dataDir, "blackbox", proc+".json")
+}
+
+// Persist starts write-behind persistence under dataDir: the box lands at
+// BoxPath(dataDir, proc) every interval (only when new events arrived),
+// written to a temp file and renamed so readers never see a torn box. An
+// existing box from a previous incarnation of the same process is
+// preserved as <proc>-prev.json — it is crash evidence, not ours to
+// clobber. Call Close to stop the flusher and write a final snapshot.
+func (f *Flight) Persist(dataDir string, interval time.Duration) error {
+	if f == nil {
+		return nil
+	}
+	dir := filepath.Join(dataDir, "blackbox")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: blackbox dir: %w", err)
+	}
+	path := BoxPath(dataDir, f.proc)
+	if _, err := os.Stat(path); err == nil {
+		prev := filepath.Join(dir, f.proc+"-prev.json")
+		if err := os.Rename(path, prev); err != nil {
+			return fmt.Errorf("trace: preserving previous black box: %w", err)
+		}
+	}
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	f.dir = dir
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	go f.flushLoop(interval)
+	return nil
+}
+
+func (f *Flight) flushLoop(interval time.Duration) {
+	defer close(f.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			f.mu.Lock()
+			dirty := f.dirty
+			f.mu.Unlock()
+			if dirty {
+				// Flush failures must not kill the recorder: the next tick
+				// retries, and the final Close snapshot reports the error.
+				_, _ = f.Snapshot("flush")
+			}
+		}
+	}
+}
+
+// Snapshot writes the box to disk now, recording why, and returns the
+// path. Use for events the flusher cannot wait out: panic, SIGTERM,
+// journal-replay-after-crash. No-op ("" path) on a nil or non-persisted
+// recorder.
+func (f *Flight) Snapshot(reason string) (string, error) {
+	if f == nil || f.dir == "" {
+		return "", nil
+	}
+	box := f.snapshot(reason)
+	data, err := json.MarshalIndent(box, "", " ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(f.dir, f.proc+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Close stops the flusher and writes a final snapshot with the given
+// reason (e.g. "shutdown", "sigterm"). Safe on a nil or non-persisted
+// recorder; safe to call once.
+func (f *Flight) Close(reason string) error {
+	if f == nil {
+		return nil
+	}
+	if f.stop != nil {
+		close(f.stop)
+		<-f.done
+		f.stop = nil
+	}
+	_, err := f.Snapshot(reason)
+	return err
+}
+
+// ReadBlackBox parses a box written by Persist/Snapshot.
+func ReadBlackBox(path string) (*BlackBox, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var box BlackBox
+	if err := json.Unmarshal(data, &box); err != nil {
+		return nil, fmt.Errorf("trace: black box %s: %w", path, err)
+	}
+	if box.Proc == "" {
+		return nil, errors.New("trace: black box missing proc label")
+	}
+	return &box, nil
+}

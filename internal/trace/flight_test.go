@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilFlightContract(t *testing.T) {
+	f := NewFlight("x", 0)
+	if f != nil {
+		t.Fatal("NewFlight with capacity 0 must return nil")
+	}
+	f.Emit("k", "n", 1, 2, 3, SpanContext{})
+	if err := f.Persist(t.TempDir(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := f.Snapshot("r"); p != "" || err != nil {
+		t.Fatalf("nil Snapshot = (%q, %v)", p, err)
+	}
+	if err := f.Close("r"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlightWrapAroundConcurrent hammers a small ring from several
+// goroutines, then checks the invariants a black-box reader depends on:
+// Seq counts every emit, the retained window is exactly the ring capacity,
+// oldest first, with strictly increasing sequence numbers ending at the
+// final emit, and Dropped accounts for the difference.
+func TestFlightWrapAroundConcurrent(t *testing.T) {
+	const capacity, workers, per = 64, 8, 500
+	f := NewFlight("wrap", capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Emit("evt", "n", int64(w), int64(i), 0, SpanContext{})
+			}
+		}(w)
+	}
+	wg.Wait()
+	box := f.snapshot("test")
+	if box.Seq != workers*per {
+		t.Fatalf("Seq = %d, want %d", box.Seq, workers*per)
+	}
+	if len(box.Events) != capacity {
+		t.Fatalf("retained %d events, want %d", len(box.Events), capacity)
+	}
+	if box.Dropped != workers*per-capacity {
+		t.Fatalf("Dropped = %d, want %d", box.Dropped, workers*per-capacity)
+	}
+	for i := 1; i < len(box.Events); i++ {
+		if box.Events[i].Seq != box.Events[i-1].Seq+1 {
+			t.Fatalf("events not in sequence order at %d: %d then %d",
+				i, box.Events[i-1].Seq, box.Events[i].Seq)
+		}
+	}
+	if last := box.Events[len(box.Events)-1].Seq; last != workers*per-1 {
+		t.Fatalf("newest retained seq = %d, want %d", last, workers*per-1)
+	}
+}
+
+func TestFlightPersistWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlight("proc", 32)
+	if err := f.Persist(dir, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	f.Emit("job-submit", "j1", 1, -1, 0, SpanContext{Trace: NewTraceID(), Span: 7})
+	path := BoxPath(dir, "proc")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write-behind flusher never wrote the box")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	box, err := ReadBlackBox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Proc != "proc" || box.Reason != "flush" || len(box.Events) != 1 {
+		t.Fatalf("flushed box: %+v", box)
+	}
+	if e := box.Events[0]; e.Kind != "job-submit" || e.Name != "j1" || e.Span != 7 {
+		t.Fatalf("flushed event: %+v", e)
+	}
+	if err := f.Close("shutdown"); err != nil {
+		t.Fatal(err)
+	}
+	box, err = ReadBlackBox(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Reason != "shutdown" {
+		t.Fatalf("final box reason %q, want shutdown", box.Reason)
+	}
+}
+
+// TestFlightPreservesPreviousBox: a restart must not clobber the box the
+// previous incarnation left behind — it is crash evidence.
+func TestFlightPreservesPreviousBox(t *testing.T) {
+	dir := t.TempDir()
+	f1 := NewFlight("p", 8)
+	if err := f1.Persist(dir, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	f1.Emit("old", "", 0, 0, 0, SpanContext{})
+	if _, err := f1.Snapshot("crash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Close("x"); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := NewFlight("p", 8)
+	if err := f2.Persist(dir, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	f2.Emit("new", "", 0, 0, 0, SpanContext{})
+	if _, err := f2.Snapshot("running"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := f2.Close("x"); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	prev, err := ReadBlackBox(filepath.Join(dir, "blackbox", "p-prev.json"))
+	if err != nil {
+		t.Fatalf("previous incarnation's box: %v", err)
+	}
+	if len(prev.Events) != 1 || prev.Events[0].Kind != "old" {
+		t.Fatalf("previous box events: %+v", prev.Events)
+	}
+	cur, err := ReadBlackBox(BoxPath(dir, "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Events) != 1 || cur.Events[0].Kind != "new" {
+		t.Fatalf("current box events: %+v", cur.Events)
+	}
+}
+
+func TestReadBlackBoxRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"proc":"p","events":[{"seq":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlackBox(bad); err == nil {
+		t.Fatal("truncated box parsed without error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlackBox(empty); err == nil {
+		t.Fatal("box without proc label parsed without error")
+	}
+	if _, err := ReadBlackBox(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing box parsed without error")
+	}
+}

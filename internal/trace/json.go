@@ -9,12 +9,15 @@ import (
 // object form understood by about:tracing and Perfetto).
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"` // microseconds since log creation
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int64          `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant scope
+	S    string         `json:"s,omitempty"`  // instant scope
+	ID   string         `json:"id,omitempty"` // flow-event binding id
+	Bp   string         `json:"bp,omitempty"` // flow-event binding point
 	Args map[string]any `json:"args,omitempty"`
 }
 

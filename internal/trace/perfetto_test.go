@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// mkSpan builds a test span with deterministic IDs.
+func mkSpan(tid TraceID, id, parent SpanID, proc, name string, start, dur int64) Span {
+	return Span{Trace: tid, ID: id, Parent: parent, Proc: proc, Name: name,
+		Start: start, Dur: dur, Job: 1, Task: -1}
+}
+
+func TestMergeSpansCrossProcess(t *testing.T) {
+	tid := NewTraceID()
+	router := []Span{mkSpan(tid, 1, 0, "router", "cluster-submit", 100, 5)}
+	b0 := []Span{
+		mkSpan(tid, 2, 1, "b0", "job-submit", 110, 0),
+		mkSpan(tid, 3, 2, "b0", "job-run", 120, 400),
+	}
+	b1 := []Span{mkSpan(tid, 4, 1, "b1", "failover-resubmit", 300, 2)}
+	m := MergeSpans(router, b0, b1)
+	if len(m.Spans) != 4 {
+		t.Fatalf("merged %d spans, want 4", len(m.Spans))
+	}
+	// One process_name metadata event per proc plus one event per span
+	// plus one s/f flow pair per resolvable parent edge (3 edges).
+	wantEvents := 3 + 4 + 3*2
+	if len(m.TraceEvents) != wantEvents {
+		t.Fatalf("%d trace events, want %d", len(m.TraceEvents), wantEvents)
+	}
+	// Critical path: job-run ends last (520) and chains back through
+	// job-submit to the router's submit span.
+	if len(m.CriticalPath) != 3 {
+		t.Fatalf("critical path %+v, want submit→job-submit→job-run", m.CriticalPath)
+	}
+	if m.CriticalPath[0].Name != "cluster-submit" || m.CriticalPath[2].Name != "job-run" {
+		t.Fatalf("critical path order: %q → %q → %q",
+			m.CriticalPath[0].Name, m.CriticalPath[1].Name, m.CriticalPath[2].Name)
+	}
+	if m.CriticalPathUS != 5+0+400 {
+		t.Fatalf("CriticalPathUS = %d, want 405", m.CriticalPathUS)
+	}
+}
+
+// TestMergeSpansHostileInput: zero IDs, duplicate IDs, dangling parents,
+// and parent cycles — everything a truncated or corrupted per-backend
+// response can smuggle in — must still produce a valid JSON document.
+func TestMergeSpansHostileInput(t *testing.T) {
+	tid := NewTraceID()
+	hostile := []Span{
+		mkSpan(tid, 0, 0, "evil", "zero-id", 1, 1),   // dropped
+		mkSpan(tid, 5, 6, "evil", "cycle-a", 10, 10), // 5↔6 parent cycle
+		mkSpan(tid, 6, 5, "evil", "cycle-b", 10, 11),
+		mkSpan(tid, 7, 99, "evil", "dangling-parent", 5, 1),
+	}
+	dup := []Span{
+		mkSpan(tid, 5, 0, "other", "dup-of-5", 50, 1), // duplicate ID: first wins
+	}
+	m := MergeSpans(hostile, dup)
+	if len(m.Spans) != 3 {
+		t.Fatalf("merged %d spans, want 3 (zero dropped, dup dropped)", len(m.Spans))
+	}
+	for _, sp := range m.Spans {
+		if sp.Name == "dup-of-5" {
+			t.Fatal("duplicate ID replaced the first occurrence")
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Spans       []Span           `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged document is not valid JSON: %v", err)
+	}
+	// The cycle must terminate the critical-path walk, not hang it.
+	if len(m.CriticalPath) == 0 || len(m.CriticalPath) > 2 {
+		t.Fatalf("cycle-guarded critical path has %d spans", len(m.CriticalPath))
+	}
+}
+
+func TestMergeSpansEmpty(t *testing.T) {
+	m := MergeSpans(nil, []Span{})
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["traceEvents"] == nil || doc["spans"] == nil || doc["criticalPath"] == nil {
+		t.Fatalf("empty merge must keep arrays non-null: %v", doc)
+	}
+}
+
+func TestCriticalPathSingleAndEmpty(t *testing.T) {
+	if p := CriticalPath(nil); len(p) != 0 {
+		t.Fatalf("empty input: %+v", p)
+	}
+	tid := NewTraceID()
+	p := CriticalPath([]Span{mkSpan(tid, 9, 42, "p", "lone", 0, 3)})
+	if len(p) != 1 || p[0].ID != 9 {
+		t.Fatalf("lone span with dangling parent: %+v", p)
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	ctx := SpanContext{Trace: NewTraceID(), Span: 0x0123456789abcdef}
+	h := ctx.Header()
+	if len(h) != 49 || h[32] != '-' {
+		t.Fatalf("header %q: want 32 hex + '-' + 16 hex", h)
+	}
+	back, err := ParseHeader(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ctx {
+		t.Fatalf("round trip: %+v != %+v", back, ctx)
+	}
+}
+
+func TestParseHeaderMalformed(t *testing.T) {
+	// Empty is the absent-header case: no error, invalid context.
+	ctx, err := ParseHeader("")
+	if err != nil || ctx.Valid() {
+		t.Fatalf("empty header: ctx %+v, err %v", ctx, err)
+	}
+	for _, bad := range []string{
+		"short",
+		strings.Repeat("0", 49),                       // right length, no separator
+		strings.Repeat("z", 32) + "-" + strings.Repeat("0", 16), // non-hex trace
+		strings.Repeat("0", 32) + "-" + strings.Repeat("z", 16), // non-hex span
+		strings.Repeat("0", 32) + "-" + strings.Repeat("0", 17), // overlong
+	} {
+		if _, err := ParseHeader(bad); err == nil {
+			t.Errorf("ParseHeader(%q): want error", bad)
+		}
+	}
+}
+
+func TestNilSpansContract(t *testing.T) {
+	sp := NewSpans("x", 0)
+	if sp != nil {
+		t.Fatal("NewSpans with capacity 0 must return nil (tracing off)")
+	}
+	// Every method must be a safe no-op on the nil recorder.
+	sp.Emit(Span{Name: "ignored"})
+	sp.Mirror(nil)
+	if sp.NextID() != 0 || sp.Len() != 0 || sp.Proc() != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+	if got := sp.Snapshot(); len(got) != 0 {
+		t.Fatalf("nil Snapshot returned %d spans", len(got))
+	}
+	if got := sp.ForTrace(NewTraceID()); len(got) != 0 {
+		t.Fatalf("nil ForTrace returned %d spans", len(got))
+	}
+}
+
+func TestSpansRingOverwriteKeepsNewest(t *testing.T) {
+	sp := NewSpans("ring", 4)
+	tid := NewTraceID()
+	for i := 0; i < 10; i++ {
+		sp.Emit(Span{Trace: tid, Name: "s", Task: int64(i)})
+	}
+	if sp.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", sp.Len())
+	}
+	got := sp.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := int64(6 + i); s.Task != want {
+			t.Fatalf("slot %d holds task %d, want %d (oldest-first newest window)", i, s.Task, want)
+		}
+	}
+}
+
+func TestForTraceFilters(t *testing.T) {
+	sp := NewSpans("p", 16)
+	a, b := NewTraceID(), NewTraceID()
+	sp.Emit(Span{Trace: a, Name: "one"})
+	sp.Emit(Span{Trace: b, Name: "two"})
+	sp.Emit(Span{Trace: a, Name: "three"})
+	got := sp.ForTrace(a)
+	if len(got) != 2 || got[0].Name != "one" || got[1].Name != "three" {
+		t.Fatalf("ForTrace(a) = %+v", got)
+	}
+	for _, s := range got {
+		if s.Proc != "p" {
+			t.Fatalf("span missing proc stamp: %+v", s)
+		}
+	}
+}
+
+func TestNextIDUniqueUnderConcurrency(t *testing.T) {
+	sp := NewSpans("p", 1)
+	const workers, per = 8, 1000
+	ids := make([][]SpanID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]SpanID, per)
+			for i := range ids[w] {
+				ids[w][i] = sp.NextID()
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[SpanID]bool, workers*per)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if id == 0 {
+				t.Fatal("NextID minted the reserved zero ID")
+			}
+			if seen[id] {
+				t.Fatalf("duplicate span ID %s", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -97,19 +97,29 @@ type Log struct {
 	seq   uint64
 }
 
-// New returns a log retaining the most recent capacity events.
+// New returns a log retaining the most recent capacity events. A
+// capacity < 1 means "tracing off" and returns nil — the nil log's
+// methods are no-ops, so callers need no pre-check and a disabled trace
+// costs one inlined nil branch per Emit (the same contract as the nil
+// metrics registry, gated by `make benchobs`), not a zero-length ring
+// that still pays event construction.
 func New(capacity int) *Log {
 	if capacity < 1 {
-		panic("trace: capacity must be >= 1")
+		return nil
 	}
 	return &Log{start: time.Now(), buf: make([]Event, 0, capacity)}
 }
 
-// Emit records an event. Safe for concurrent use; no-op on a nil log.
+// Emit records an event. Safe for concurrent use; no-op on a nil log (a
+// single inlined branch, so disabled tracing is free).
 func (l *Log) Emit(kind Kind, key int64, life int, arg int64) {
 	if l == nil {
 		return
 	}
+	l.emit(kind, key, life, arg)
+}
+
+func (l *Log) emit(kind Kind, key int64, life int, arg int64) {
 	now := time.Since(l.start)
 	l.mu.Lock()
 	e := Event{Seq: l.seq, When: now, Kind: kind, Key: key, Life: life, Arg: arg}

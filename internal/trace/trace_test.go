@@ -165,10 +165,17 @@ func TestDumpAndStrings(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New(0) should panic")
+	// Capacity < 1 means "tracing off": a nil log whose methods are all
+	// cheap no-ops, so trace_capacity: 0 pays one nil check, not a
+	// zero-length ring's event-construction cost.
+	for _, capacity := range []int{0, -1} {
+		l := New(capacity)
+		if l != nil {
+			t.Fatalf("New(%d) = %v, want nil", capacity, l)
 		}
-	}()
-	New(0)
+		l.Emit(ComputeStart, 1, 0, 0) // must not panic
+		if l.Len() != 0 || l.Snapshot() != nil {
+			t.Fatal("nil log should record nothing")
+		}
+	}
 }
